@@ -1,0 +1,93 @@
+//===-- bench/BenchUtil.h - Shared experiment-harness helpers ---*- C++ -*-===//
+//
+// Part of the ShrinkRay reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Row-formatting and measurement helpers shared by the experiment
+/// harnesses in bench/. Each harness regenerates one table or figure of the
+/// paper and prints the same rows/series the paper reports, so
+/// EXPERIMENTS.md can record paper-vs-measured side by side.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHRINKRAY_BENCH_BENCHUTIL_H
+#define SHRINKRAY_BENCH_BENCHUTIL_H
+
+#include "cad/Eval.h"
+#include "cad/Sexp.h"
+#include "geom/Sample.h"
+#include "synth/Synthesizer.h"
+
+#include <cstdio>
+#include <string>
+
+namespace shrinkray {
+namespace bench {
+
+/// Measured per-model metrics mirroring Table 1's columns.
+struct MeasuredRow {
+  uint64_t InputNodes = 0, OutputNodes = 0;
+  uint64_t InputPrims = 0, OutputPrims = 0;
+  uint64_t InputDepth = 0, OutputDepth = 0;
+  std::string Loops = "-";
+  std::string Forms = "-";
+  double TimeSec = 0.0;
+  size_t Rank = 0; ///< 1-based rank of first structured program; 0 = none
+  bool Sound = false;
+};
+
+/// Runs the synthesizer on \p Input and gathers Table 1 metrics. The rank
+/// and loop columns describe the first structured program in top-k (the
+/// paper's `r` column); sizes describe the best program.
+inline MeasuredRow measureModel(const TermPtr &Input,
+                                const SynthesisOptions &Opts) {
+  MeasuredRow Row;
+  Row.InputNodes = termSize(Input);
+  Row.InputPrims = termPrimitives(Input);
+  Row.InputDepth = termDepth(Input);
+
+  SynthesisResult R = Synthesizer(Opts).synthesize(Input);
+  Row.TimeSec = R.Stats.Seconds;
+  if (R.Programs.empty())
+    return Row;
+
+  const TermPtr &Best = R.best();
+  Row.OutputNodes = termSize(Best);
+  Row.OutputPrims = termPrimitives(Best);
+  Row.OutputDepth = termDepth(Best);
+  Row.Rank = R.structureRank();
+  if (Row.Rank > 0) {
+    LoopSummary Loops = describeLoops(R.Programs[Row.Rank - 1].T);
+    Row.Loops = Loops.Notation;
+    Row.Forms = Loops.Forms;
+  }
+
+  EvalResult Flat = evalToFlatCsg(Best);
+  if (Flat) {
+    geom::SampleOptions SampleOpts;
+    SampleOpts.NumPoints = 4000;
+    SampleOpts.MismatchTolerance = 0.002; // epsilon-snapped constants
+    Row.Sound = geom::sampleEquivalent(Input, Flat.Value, SampleOpts);
+  }
+  return Row;
+}
+
+/// Percentage reduction helper (positive = smaller output).
+inline double reductionPct(uint64_t In, uint64_t Out) {
+  if (In == 0)
+    return 0.0;
+  return 100.0 * (1.0 - static_cast<double>(Out) / static_cast<double>(In));
+}
+
+inline void printRule(char Ch = '-', int Width = 118) {
+  for (int I = 0; I < Width; ++I)
+    std::putchar(Ch);
+  std::putchar('\n');
+}
+
+} // namespace bench
+} // namespace shrinkray
+
+#endif // SHRINKRAY_BENCH_BENCHUTIL_H

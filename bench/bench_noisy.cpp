@@ -1,0 +1,74 @@
+//===-- bench/bench_noisy.cpp - Figure 16: noisy decompiled inputs --------===//
+//
+// Sec. 6.4: flat CSGs produced by mesh decompilers carry floating-point
+// roundoff. The paper's input (Figure 16 left, 55 nodes, three hexagonal
+// prisms with noisy scale/translate vectors) must synthesize, in well under
+// a second, a program (46 nodes in the paper) that folds the first two
+// hexagons into a loop with a closed form despite the noise. This harness
+// reruns that input verbatim, then sweeps noise magnitudes on a clean model
+// to locate the epsilon boundary (the solver's tolerance is 1e-3).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "models/Models.h"
+
+using namespace shrinkray;
+using namespace shrinkray::bench;
+
+int main() {
+  std::printf("== Figure 16: the noisy decompiled hexagons ==\n\n");
+  TermPtr Input = models::noisyHexagonsModel();
+
+  std::printf("input: %llu nodes, 3 prisms (paper: 55 nodes)\n",
+              static_cast<unsigned long long>(termSize(Input)));
+  SynthesisOptions Opts;
+  Opts.TopK = 48; // the 2-element noisy loop is honest about its size
+  Opts.Cost = CostKind::RewardLoops;
+  SynthesisResult R = Synthesizer(Opts).synthesize(Input);
+
+  // What the figure demonstrates: the epsilon-band solvers recover closed
+  // forms from the NOISY vectors (snapping 1.4999996667 back to 1.5).
+  size_t MapiRecords = 0;
+  for (const InferenceRecord &Rec : R.Stats.Records)
+    MapiRecords += Rec.K == InferenceRecord::Kind::Mapi ? 1 : 0;
+  std::printf("output: %llu nodes in %.2f s (paper: 46 nodes, 0.48 s)\n",
+              static_cast<unsigned long long>(termSize(R.best())),
+              R.Stats.Seconds);
+  std::printf("closed forms recovered from noisy vectors: %zu Mapi "
+              "insertions (paper: loop over the 2 compatible prisms)\n",
+              MapiRecords);
+
+  size_t Rank = 0;
+  for (size_t I = 0; I < R.Programs.size() && !Rank; ++I)
+    if (printSexp(R.Programs[I].T).find("Mapi") != std::string::npos)
+      Rank = I + 1;
+  std::printf("rank of first Mapi program: %zu of top-%zu (ours charges a "
+              "2-element loop honestly; the paper's ranked it above the "
+              "spine)\n\n",
+              Rank, R.Programs.size());
+  if (Rank)
+    std::printf("-- structured program (compare Figure 16 right) --\n%s\n\n",
+                prettyPrint(R.Programs[Rank - 1].T).c_str());
+
+  // Noise sweep: solver robustness across magnitudes (eps = 1e-3).
+  std::printf("== noise sweep: 8-cube row, loop recovery vs noise "
+              "magnitude ==\n");
+  std::printf("%-12s | %-10s | %s\n", "noise", "loop found", "note");
+  printRule('-', 50);
+  std::vector<TermPtr> Cubes;
+  for (int I = 0; I < 8; ++I)
+    Cubes.push_back(tTranslate(3.0 * I + 1.0, 0, 0, tUnit()));
+  TermPtr Clean = tUnionAll(Cubes);
+  for (double Mag : {0.0, 1e-6, 1e-5, 1e-4, 5e-4, 9e-4, 2e-3, 1e-2}) {
+    TermPtr Noisy = models::injectNoise(Clean, Mag, 1234);
+    SynthesisResult NR = Synthesizer().synthesize(Noisy);
+    bool Found = NR.structureRank() > 0;
+    const char *Note = Mag <= 1e-3 ? "within eps band"
+                                   : "beyond eps: loop may vanish";
+    std::printf("%-12g | %-10s | %s\n", Mag, Found ? "yes" : "no", Note);
+  }
+  std::printf("\nexpected shape: loops recovered for all magnitudes within "
+              "the 1e-3 epsilon band, lost beyond it\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+//===-- examples/gear_decompile.cpp - The Figure 1 gear, end to end -------===//
+//
+// The paper's headline example: a gear whose flat CSG hides the tooth count
+// in 60 repeated rotate/translate towers. ShrinkRay recovers the loop — the
+// tooth count becomes a single editable constant — and this example then
+// re-emits the program as OpenSCAD (with a real `for` loop) and writes an
+// STL rendering of the model, exercising the whole toolchain:
+//
+//   models::gearModel -> Synthesizer -> scad::emitScad -> geom::writeStlAscii
+//
+// Run: build/examples/gear_decompile [tooth-count] [out.scad] [out.stl]
+//
+//===----------------------------------------------------------------------===//
+
+#include "cad/Eval.h"
+#include "cad/Sexp.h"
+#include "geom/Mesh.h"
+#include "geom/Sample.h"
+#include "models/Models.h"
+#include "scad/ScadEmitter.h"
+#include "synth/Synthesizer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+using namespace shrinkray;
+
+int main(int Argc, char **Argv) {
+  int Teeth = Argc > 1 ? std::atoi(Argv[1]) : 60;
+  if (Teeth < 3 || Teeth > 720) {
+    std::fprintf(stderr, "usage: %s [tooth-count 3..720]\n", Argv[0]);
+    return 1;
+  }
+
+  TermPtr Gear = models::gearModel(Teeth);
+  std::printf("gear with %d teeth: %llu AST nodes, %llu primitives, "
+              "depth %llu\n",
+              Teeth, static_cast<unsigned long long>(termSize(Gear)),
+              static_cast<unsigned long long>(termPrimitives(Gear)),
+              static_cast<unsigned long long>(termDepth(Gear)));
+
+  SynthesisResult Result = Synthesizer().synthesize(Gear);
+  if (Result.Programs.empty()) {
+    std::fprintf(stderr, "error: synthesis produced no programs\n");
+    return 1;
+  }
+  const TermPtr &Best = Result.best();
+  LoopSummary Loops = describeLoops(Best);
+  std::printf("synthesized in %.2fs: %llu nodes (%.1f%% reduction), "
+              "loops %s\n\n",
+              Result.Stats.Seconds,
+              static_cast<unsigned long long>(termSize(Best)),
+              100.0 * (1.0 - static_cast<double>(termSize(Best)) /
+                                 static_cast<double>(termSize(Gear))),
+              Loops.HasLoops ? Loops.Notation.c_str() : "(none)");
+  std::printf("%s\n\n", prettyPrint(Best).c_str());
+
+  // Translation validation (paper Sec. 7).
+  EvalResult Flat = evalToFlatCsg(Best);
+  if (!Flat || !geom::sampleEquivalent(Gear, Flat.Value)) {
+    std::fprintf(stderr, "error: synthesized gear is not equivalent!\n");
+    return 1;
+  }
+  std::printf("validation: synthesized program is geometry-equivalent\n");
+
+  // Emit editable OpenSCAD: the tooth count is now one number in a loop.
+  if (std::optional<std::string> Scad = scad::emitScad(Best)) {
+    const char *Path = Argc > 2 ? Argv[2] : "gear.scad";
+    std::ofstream(Path) << *Scad;
+    std::printf("wrote OpenSCAD with loops to %s\n", Path);
+  }
+
+  // Render the flat model to STL (the reverse of the paper's pipeline).
+  geom::Mesh M = geom::tessellate(Flat.Value);
+  const char *StlPath = Argc > 3 ? Argv[3] : "gear.stl";
+  std::ofstream(StlPath) << geom::writeStlAscii(M, "shrinkray_gear");
+  std::printf("wrote %zu-triangle STL to %s\n", M.numTriangles(), StlPath);
+  return 0;
+}

@@ -1,0 +1,175 @@
+//===-- cad/Op.cpp - Operators of CSG and LambdaCAD -----------------------===//
+
+#include "cad/Op.h"
+
+#include <sstream>
+
+using namespace shrinkray;
+
+int shrinkray::opArity(OpKind Kind) {
+  switch (Kind) {
+  case OpKind::Empty:
+  case OpKind::Unit:
+  case OpKind::Cylinder:
+  case OpKind::Sphere:
+  case OpKind::Hexagon:
+  case OpKind::Int:
+  case OpKind::Float:
+  case OpKind::Nil:
+  case OpKind::Var:
+  case OpKind::External:
+  case OpKind::OpRef:
+  case OpKind::PatVar:
+    return 0;
+  case OpKind::Sin:
+  case OpKind::Cos:
+    return 1;
+  case OpKind::Translate:
+  case OpKind::Scale:
+  case OpKind::Rotate:
+  case OpKind::Union:
+  case OpKind::Diff:
+  case OpKind::Inter:
+  case OpKind::Cons:
+  case OpKind::Concat:
+  case OpKind::Repeat:
+  case OpKind::Map:
+  case OpKind::Mapi:
+  case OpKind::Add:
+  case OpKind::Sub:
+  case OpKind::Mul:
+  case OpKind::Div:
+  case OpKind::Arctan:
+    return 2;
+  case OpKind::Vec3Ctor:
+  case OpKind::Fold:
+    return 3;
+  case OpKind::Fun:
+  case OpKind::App:
+    return -1; // variadic
+  }
+  assert(false && "unknown OpKind");
+  return -1;
+}
+
+std::string_view shrinkray::opName(OpKind Kind) {
+  switch (Kind) {
+  case OpKind::Empty:
+    return "Empty";
+  case OpKind::Unit:
+    return "Unit";
+  case OpKind::Cylinder:
+    return "Cylinder";
+  case OpKind::Sphere:
+    return "Sphere";
+  case OpKind::Hexagon:
+    return "Hexagon";
+  case OpKind::Translate:
+    return "Translate";
+  case OpKind::Scale:
+    return "Scale";
+  case OpKind::Rotate:
+    return "Rotate";
+  case OpKind::Union:
+    return "Union";
+  case OpKind::Diff:
+    return "Diff";
+  case OpKind::Inter:
+    return "Inter";
+  case OpKind::Vec3Ctor:
+    return "Vec3";
+  case OpKind::Int:
+    return "Int";
+  case OpKind::Float:
+    return "Float";
+  case OpKind::Nil:
+    return "Nil";
+  case OpKind::Cons:
+    return "Cons";
+  case OpKind::Concat:
+    return "Concat";
+  case OpKind::Repeat:
+    return "Repeat";
+  case OpKind::Fold:
+    return "Fold";
+  case OpKind::Map:
+    return "Map";
+  case OpKind::Mapi:
+    return "Mapi";
+  case OpKind::Fun:
+    return "Fun";
+  case OpKind::App:
+    return "App";
+  case OpKind::Var:
+    return "Var";
+  case OpKind::Add:
+    return "Add";
+  case OpKind::Sub:
+    return "Sub";
+  case OpKind::Mul:
+    return "Mul";
+  case OpKind::Div:
+    return "Div";
+  case OpKind::Sin:
+    return "Sin";
+  case OpKind::Cos:
+    return "Cos";
+  case OpKind::Arctan:
+    return "Arctan";
+  case OpKind::External:
+    return "External";
+  case OpKind::OpRef:
+    return "OpRef";
+  case OpKind::PatVar:
+    return "PatVar";
+  }
+  assert(false && "unknown OpKind");
+  return "";
+}
+
+bool shrinkray::opKindFromName(std::string_view Name, OpKind &Out) {
+  for (unsigned I = 0; I < NumOpKinds; ++I) {
+    OpKind K = static_cast<OpKind>(I);
+    if (opName(K) == Name) {
+      Out = K;
+      return true;
+    }
+  }
+  return false;
+}
+
+OpKind Op::referencedOp() const {
+  assert(Kind == OpKind::OpRef && "not an OpRef");
+  OpKind Out;
+  [[maybe_unused]] bool Known = opKindFromName(SymValue.str(), Out);
+  assert(Known && "OpRef names an unknown operator");
+  return Out;
+}
+
+std::string Op::str() const {
+  std::ostringstream Os;
+  switch (Kind) {
+  case OpKind::Int:
+    Os << IntValue;
+    break;
+  case OpKind::Float:
+    Os << FloatValue;
+    break;
+  case OpKind::Var:
+    Os << "Var:" << SymValue.str();
+    break;
+  case OpKind::External:
+    Os << "External:" << SymValue.str();
+    break;
+  case OpKind::OpRef:
+    Os << SymValue.str();
+    break;
+  case OpKind::PatVar:
+    Os << "?" << SymValue.str();
+    break;
+  default:
+    Os << opName(Kind);
+    break;
+  }
+  return Os.str();
+}

@@ -1,0 +1,252 @@
+//===-- cad/Op.h - Operators of CSG and LambdaCAD ---------------*- C++ -*-===//
+//
+// Part of the ShrinkRay reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The operator vocabulary shared by the flat CSG input language and the
+/// LambdaCAD output language (paper, Figure 6). An Op is an operator kind
+/// plus an optional literal payload (integer, float, or symbol). Both the
+/// concrete `Term` tree and the e-graph's `ENode`s are built from Ops.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHRINKRAY_CAD_OP_H
+#define SHRINKRAY_CAD_OP_H
+
+#include "support/Hashing.h"
+#include "support/Symbol.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace shrinkray {
+
+/// Every operator of CSG and LambdaCAD.
+enum class OpKind : uint8_t {
+  // --- CSG solid primitives (canonical: unit size, at the origin) ---------
+  Empty,    ///< The empty solid.
+  Unit,     ///< Unit cube [0,1]^3.
+  Cylinder, ///< Unit cylinder: radius 1, 0 <= z <= 1.
+  Sphere,   ///< Unit sphere: radius 1, centered at the origin.
+  Hexagon,  ///< Unit hexagonal prism: circumradius 1, 0 <= z <= 1.
+
+  // --- Affine transformations (Vec3 argument, then child) -----------------
+  Translate, ///< Translate(Vec3, C)
+  Scale,     ///< Scale(Vec3, C)
+  Rotate,    ///< Rotate(Vec3, C), Euler degrees, OpenSCAD Rz*Ry*Rx order.
+
+  // --- Boolean operations --------------------------------------------------
+  Union, ///< Union(C, C)
+  Diff,  ///< Diff(C, C)
+  Inter, ///< Inter(C, C)
+
+  // --- Vectors and scalar literals -----------------------------------------
+  Vec3Ctor, ///< Vec3(e, e, e): the 3-vector argument of affine ops.
+  Int,      ///< Integer literal (payload).
+  Float,    ///< Float literal (payload).
+
+  // --- Lists ----------------------------------------------------------------
+  Nil,    ///< Empty list.
+  Cons,   ///< Cons(e, list)
+  Concat, ///< Concat(list, list): list append (the paper's `@`).
+  Repeat, ///< Repeat(e, n): list of n copies of e.
+
+  // --- Functional combinators ------------------------------------------------
+  Fold, ///< Fold(f, init, list). f may be an OpRef (binary fold) or a Fun.
+  Map,  ///< Map(f, list)
+  Mapi, ///< Mapi(f, list): f receives the element index and the element.
+  Fun,  ///< Fun(params..., body): last child is the body, preceding are Vars.
+  App,  ///< App(f, args...)
+  Var,  ///< Variable reference (symbol payload).
+
+  // --- Arithmetic -------------------------------------------------------------
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Sin,    ///< Sin(e), degrees.
+  Cos,    ///< Cos(e), degrees.
+  Arctan, ///< Arctan(e, e) = atan2, degrees.
+
+  // --- Escape hatches -----------------------------------------------------------
+  External, ///< Opaque named sub-design (paper Sec. 6.1: Hull/Mirror).
+  OpRef,    ///< A boolean operator used as a value, e.g. Fold(Union, ...).
+
+  // --- Pattern-matching only ------------------------------------------------------
+  PatVar, ///< Pattern variable; only valid inside rewrite patterns.
+};
+
+/// Number of distinct OpKind values (for tables indexed by kind).
+constexpr unsigned NumOpKinds = static_cast<unsigned>(OpKind::PatVar) + 1;
+
+/// Returns the fixed child arity of \p Kind, or -1 if variadic (Fun, App).
+int opArity(OpKind Kind);
+
+/// The canonical spelling used by the s-expression syntax.
+std::string_view opName(OpKind Kind);
+
+/// Parses \p Name back to an OpKind; returns false if unknown.
+bool opKindFromName(std::string_view Name, OpKind &Out);
+
+/// True for the three affine transformation operators.
+inline bool isAffineOp(OpKind K) {
+  return K == OpKind::Translate || K == OpKind::Scale || K == OpKind::Rotate;
+}
+
+/// True for the three boolean (set) operators.
+inline bool isBoolOp(OpKind K) {
+  return K == OpKind::Union || K == OpKind::Diff || K == OpKind::Inter;
+}
+
+/// True for the CSG solid primitives.
+inline bool isPrimitiveOp(OpKind K) {
+  return K == OpKind::Empty || K == OpKind::Unit || K == OpKind::Cylinder ||
+         K == OpKind::Sphere || K == OpKind::Hexagon;
+}
+
+/// An operator instance: kind plus literal payload. Equality and hashing are
+/// structural (kind + payload); children live in the containing Term/ENode.
+class Op {
+public:
+  /// Payload-free operator. Asserts that \p Kind takes no payload.
+  explicit Op(OpKind Kind) : Kind(Kind) {
+    assert(Kind != OpKind::Int && Kind != OpKind::Float &&
+           Kind != OpKind::Var && Kind != OpKind::External &&
+           Kind != OpKind::OpRef && Kind != OpKind::PatVar &&
+           "operator kind requires a payload");
+  }
+
+  static Op makeInt(int64_t Value) {
+    Op O(OpKind::Int, PayloadTag{});
+    O.IntValue = Value;
+    return O;
+  }
+
+  static Op makeFloat(double Value) {
+    assert(!std::isnan(Value) && "NaN literal in CAD term");
+    Op O(OpKind::Float, PayloadTag{});
+    O.FloatValue = Value == 0.0 ? 0.0 : Value; // canonicalize -0.0
+    return O;
+  }
+
+  static Op makeVar(Symbol Name) {
+    Op O(OpKind::Var, PayloadTag{});
+    O.SymValue = Name;
+    return O;
+  }
+
+  static Op makeExternal(Symbol Name) {
+    Op O(OpKind::External, PayloadTag{});
+    O.SymValue = Name;
+    return O;
+  }
+
+  /// A boolean operator used as a first-class value (e.g. Fold(Union, ...)).
+  static Op makeOpRef(OpKind Referenced) {
+    assert(isBoolOp(Referenced) && "OpRef must name a boolean operator");
+    Op O(OpKind::OpRef, PayloadTag{});
+    O.SymValue = Symbol(opName(Referenced));
+    return O;
+  }
+
+  static Op makePatVar(Symbol Name) {
+    Op O(OpKind::PatVar, PayloadTag{});
+    O.SymValue = Name;
+    return O;
+  }
+
+  OpKind kind() const { return Kind; }
+
+  bool is(OpKind K) const { return Kind == K; }
+
+  int64_t intValue() const {
+    assert(Kind == OpKind::Int && "not an Int");
+    return IntValue;
+  }
+
+  double floatValue() const {
+    assert(Kind == OpKind::Float && "not a Float");
+    return FloatValue;
+  }
+
+  /// The numeric value of an Int or Float literal.
+  double numericValue() const {
+    assert((Kind == OpKind::Int || Kind == OpKind::Float) && "not a number");
+    return Kind == OpKind::Int ? static_cast<double>(IntValue) : FloatValue;
+  }
+
+  Symbol symbol() const {
+    assert((Kind == OpKind::Var || Kind == OpKind::External ||
+            Kind == OpKind::OpRef || Kind == OpKind::PatVar) &&
+           "operator has no symbol payload");
+    return SymValue;
+  }
+
+  /// For an OpRef, the boolean operator it references.
+  OpKind referencedOp() const;
+
+  /// Display string, e.g. "Translate", "2.5", "Var:i".
+  std::string str() const;
+
+  friend bool operator==(const Op &A, const Op &B) {
+    if (A.Kind != B.Kind)
+      return false;
+    switch (A.Kind) {
+    case OpKind::Int:
+      return A.IntValue == B.IntValue;
+    case OpKind::Float:
+      return A.FloatValue == B.FloatValue;
+    case OpKind::Var:
+    case OpKind::External:
+    case OpKind::OpRef:
+    case OpKind::PatVar:
+      return A.SymValue == B.SymValue;
+    default:
+      return true;
+    }
+  }
+  friend bool operator!=(const Op &A, const Op &B) { return !(A == B); }
+
+  size_t hash() const {
+    size_t Seed = std::hash<uint8_t>()(static_cast<uint8_t>(Kind));
+    switch (Kind) {
+    case OpKind::Int:
+      hashCombine(Seed, std::hash<int64_t>()(IntValue));
+      break;
+    case OpKind::Float:
+      hashCombine(Seed, hashDouble(FloatValue));
+      break;
+    case OpKind::Var:
+    case OpKind::External:
+    case OpKind::OpRef:
+    case OpKind::PatVar:
+      hashCombine(Seed, std::hash<Symbol>()(SymValue));
+      break;
+    default:
+      break;
+    }
+    return Seed;
+  }
+
+private:
+  struct PayloadTag {};
+  Op(OpKind Kind, PayloadTag) : Kind(Kind) {}
+
+  OpKind Kind;
+  int64_t IntValue = 0;
+  double FloatValue = 0.0;
+  Symbol SymValue;
+};
+
+} // namespace shrinkray
+
+template <> struct std::hash<shrinkray::Op> {
+  size_t operator()(const shrinkray::Op &O) const noexcept { return O.hash(); }
+};
+
+#endif // SHRINKRAY_CAD_OP_H

@@ -1,0 +1,246 @@
+//===-- cad/Term.cpp - Immutable CAD term trees ---------------------------===//
+
+#include "cad/Term.h"
+
+#include <cmath>
+
+using namespace shrinkray;
+
+TermPtr shrinkray::makeTerm(Op O, std::vector<TermPtr> Children) {
+  return std::make_shared<const Term>(std::move(O), std::move(Children));
+}
+
+uint64_t shrinkray::termSize(const TermPtr &T) {
+  uint64_t N = 1;
+  for (const TermPtr &Kid : T->children())
+    N += termSize(Kid);
+  return N;
+}
+
+uint64_t shrinkray::termDepth(const TermPtr &T) {
+  uint64_t Max = 0;
+  for (const TermPtr &Kid : T->children())
+    Max = std::max(Max, termDepth(Kid));
+  return Max + 1;
+}
+
+uint64_t shrinkray::termPrimitives(const TermPtr &T) {
+  OpKind K = T->kind();
+  uint64_t N = 0;
+  if ((isPrimitiveOp(K) && K != OpKind::Empty) || K == OpKind::External)
+    N = 1;
+  for (const TermPtr &Kid : T->children())
+    N += termPrimitives(Kid);
+  return N;
+}
+
+bool shrinkray::termEquals(const TermPtr &A, const TermPtr &B) {
+  if (A.get() == B.get())
+    return true;
+  if (A->op() != B->op() || A->numChildren() != B->numChildren())
+    return false;
+  for (size_t I = 0; I < A->numChildren(); ++I)
+    if (!termEquals(A->child(I), B->child(I)))
+      return false;
+  return true;
+}
+
+bool shrinkray::termApproxEquals(const TermPtr &A, const TermPtr &B,
+                                 double Eps) {
+  // Numeric literals compare by value, across the Int/Float divide.
+  bool ANum = A->kind() == OpKind::Float || A->kind() == OpKind::Int;
+  bool BNum = B->kind() == OpKind::Float || B->kind() == OpKind::Int;
+  if (ANum || BNum) {
+    if (!ANum || !BNum)
+      return false;
+    return std::fabs(A->op().numericValue() - B->op().numericValue()) <= Eps;
+  }
+  if (A->kind() != B->kind() || A->numChildren() != B->numChildren())
+    return false;
+  if (A->op() != B->op())
+    return false;
+  for (size_t I = 0; I < A->numChildren(); ++I)
+    if (!termApproxEquals(A->child(I), B->child(I), Eps))
+      return false;
+  return true;
+}
+
+size_t shrinkray::termHash(const TermPtr &T) {
+  size_t Seed = T->op().hash();
+  for (const TermPtr &Kid : T->children())
+    hashCombine(Seed, termHash(Kid));
+  return Seed;
+}
+
+bool shrinkray::isFlatCsg(const TermPtr &T) {
+  OpKind K = T->kind();
+  if (isPrimitiveOp(K) || K == OpKind::External)
+    return true;
+  if (isAffineOp(K)) {
+    // The vector argument must be all-literal.
+    const TermPtr &Vec = T->child(0);
+    if (Vec->kind() != OpKind::Vec3Ctor)
+      return false;
+    for (const TermPtr &Comp : Vec->children())
+      if (Comp->kind() != OpKind::Float && Comp->kind() != OpKind::Int)
+        return false;
+    return isFlatCsg(T->child(1));
+  }
+  if (isBoolOp(K))
+    return isFlatCsg(T->child(0)) && isFlatCsg(T->child(1));
+  return false;
+}
+
+bool shrinkray::containsLoop(const TermPtr &T) {
+  OpKind K = T->kind();
+  if (K == OpKind::Fold || K == OpKind::Map || K == OpKind::Mapi ||
+      K == OpKind::Repeat || K == OpKind::Fun)
+    return true;
+  for (const TermPtr &Kid : T->children())
+    if (containsLoop(Kid))
+      return true;
+  return false;
+}
+
+// --- Convenience constructors ----------------------------------------------
+
+TermPtr shrinkray::tEmpty() { return makeTerm(Op(OpKind::Empty)); }
+TermPtr shrinkray::tUnit() { return makeTerm(Op(OpKind::Unit)); }
+TermPtr shrinkray::tCylinder() { return makeTerm(Op(OpKind::Cylinder)); }
+TermPtr shrinkray::tSphere() { return makeTerm(Op(OpKind::Sphere)); }
+TermPtr shrinkray::tHexagon() { return makeTerm(Op(OpKind::Hexagon)); }
+
+TermPtr shrinkray::tFloat(double Value) {
+  return makeTerm(Op::makeFloat(Value));
+}
+TermPtr shrinkray::tInt(int64_t Value) { return makeTerm(Op::makeInt(Value)); }
+TermPtr shrinkray::tVar(std::string_view Name) {
+  return makeTerm(Op::makeVar(Symbol(Name)));
+}
+TermPtr shrinkray::tExternal(std::string_view Name) {
+  return makeTerm(Op::makeExternal(Symbol(Name)));
+}
+
+TermPtr shrinkray::tVec3(TermPtr X, TermPtr Y, TermPtr Z) {
+  return makeTerm(Op(OpKind::Vec3Ctor),
+                  {std::move(X), std::move(Y), std::move(Z)});
+}
+TermPtr shrinkray::tVec3(double X, double Y, double Z) {
+  return tVec3(tFloat(X), tFloat(Y), tFloat(Z));
+}
+
+TermPtr shrinkray::tTranslate(TermPtr Vec, TermPtr Child) {
+  return makeTerm(Op(OpKind::Translate), {std::move(Vec), std::move(Child)});
+}
+TermPtr shrinkray::tTranslate(double X, double Y, double Z, TermPtr Child) {
+  return tTranslate(tVec3(X, Y, Z), std::move(Child));
+}
+TermPtr shrinkray::tScale(TermPtr Vec, TermPtr Child) {
+  return makeTerm(Op(OpKind::Scale), {std::move(Vec), std::move(Child)});
+}
+TermPtr shrinkray::tScale(double X, double Y, double Z, TermPtr Child) {
+  return tScale(tVec3(X, Y, Z), std::move(Child));
+}
+TermPtr shrinkray::tRotate(TermPtr Vec, TermPtr Child) {
+  return makeTerm(Op(OpKind::Rotate), {std::move(Vec), std::move(Child)});
+}
+TermPtr shrinkray::tRotate(double X, double Y, double Z, TermPtr Child) {
+  return tRotate(tVec3(X, Y, Z), std::move(Child));
+}
+
+TermPtr shrinkray::tUnion(TermPtr A, TermPtr B) {
+  return makeTerm(Op(OpKind::Union), {std::move(A), std::move(B)});
+}
+TermPtr shrinkray::tDiff(TermPtr A, TermPtr B) {
+  return makeTerm(Op(OpKind::Diff), {std::move(A), std::move(B)});
+}
+TermPtr shrinkray::tInter(TermPtr A, TermPtr B) {
+  return makeTerm(Op(OpKind::Inter), {std::move(A), std::move(B)});
+}
+
+TermPtr shrinkray::tNil() { return makeTerm(Op(OpKind::Nil)); }
+TermPtr shrinkray::tCons(TermPtr Head, TermPtr Tail) {
+  return makeTerm(Op(OpKind::Cons), {std::move(Head), std::move(Tail)});
+}
+TermPtr shrinkray::tConcat(TermPtr A, TermPtr B) {
+  return makeTerm(Op(OpKind::Concat), {std::move(A), std::move(B)});
+}
+TermPtr shrinkray::tRepeat(TermPtr Elem, TermPtr Count) {
+  return makeTerm(Op(OpKind::Repeat), {std::move(Elem), std::move(Count)});
+}
+
+TermPtr shrinkray::tFold(TermPtr F, TermPtr Init, TermPtr List) {
+  return makeTerm(Op(OpKind::Fold),
+                  {std::move(F), std::move(Init), std::move(List)});
+}
+TermPtr shrinkray::tMap(TermPtr F, TermPtr List) {
+  return makeTerm(Op(OpKind::Map), {std::move(F), std::move(List)});
+}
+TermPtr shrinkray::tMapi(TermPtr F, TermPtr List) {
+  return makeTerm(Op(OpKind::Mapi), {std::move(F), std::move(List)});
+}
+
+TermPtr shrinkray::tFun(std::vector<TermPtr> ParamsThenBody) {
+  assert(ParamsThenBody.size() >= 2 && "Fun needs >= 1 param and a body");
+#ifndef NDEBUG
+  for (size_t I = 0; I + 1 < ParamsThenBody.size(); ++I)
+    assert(ParamsThenBody[I]->kind() == OpKind::Var &&
+           "Fun parameters must be Vars");
+#endif
+  return makeTerm(Op(OpKind::Fun), std::move(ParamsThenBody));
+}
+
+TermPtr shrinkray::tApp(std::vector<TermPtr> FnThenArgs) {
+  assert(FnThenArgs.size() >= 2 && "App needs a function and >= 1 argument");
+  return makeTerm(Op(OpKind::App), std::move(FnThenArgs));
+}
+
+TermPtr shrinkray::tAdd(TermPtr A, TermPtr B) {
+  return makeTerm(Op(OpKind::Add), {std::move(A), std::move(B)});
+}
+TermPtr shrinkray::tSub(TermPtr A, TermPtr B) {
+  return makeTerm(Op(OpKind::Sub), {std::move(A), std::move(B)});
+}
+TermPtr shrinkray::tMul(TermPtr A, TermPtr B) {
+  return makeTerm(Op(OpKind::Mul), {std::move(A), std::move(B)});
+}
+TermPtr shrinkray::tDiv(TermPtr A, TermPtr B) {
+  return makeTerm(Op(OpKind::Div), {std::move(A), std::move(B)});
+}
+TermPtr shrinkray::tSin(TermPtr A) {
+  return makeTerm(Op(OpKind::Sin), {std::move(A)});
+}
+TermPtr shrinkray::tCos(TermPtr A) {
+  return makeTerm(Op(OpKind::Cos), {std::move(A)});
+}
+TermPtr shrinkray::tArctan(TermPtr A, TermPtr B) {
+  return makeTerm(Op(OpKind::Arctan), {std::move(A), std::move(B)});
+}
+
+TermPtr shrinkray::tOpRef(OpKind BoolOp) {
+  return makeTerm(Op::makeOpRef(BoolOp));
+}
+
+TermPtr shrinkray::tUnionAll(const std::vector<TermPtr> &Items) {
+  if (Items.empty())
+    return tEmpty();
+  TermPtr Acc = Items.back();
+  for (size_t I = Items.size() - 1; I > 0; --I)
+    Acc = tUnion(Items[I - 1], Acc);
+  return Acc;
+}
+
+TermPtr shrinkray::tList(const std::vector<TermPtr> &Items) {
+  TermPtr Acc = tNil();
+  for (size_t I = Items.size(); I > 0; --I)
+    Acc = tCons(Items[I - 1], Acc);
+  return Acc;
+}
+
+TermPtr shrinkray::tIndexList(int64_t N) {
+  assert(N >= 0 && "negative index-list length");
+  TermPtr Acc = tNil();
+  for (int64_t I = N; I > 0; --I)
+    Acc = tCons(tInt(I - 1), Acc);
+  return Acc;
+}

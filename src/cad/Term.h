@@ -1,0 +1,141 @@
+//===-- cad/Term.h - Immutable CAD term trees -------------------*- C++ -*-===//
+//
+// Part of the ShrinkRay reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Immutable, shareable term trees over the Op vocabulary. Terms represent
+/// both flat CSG inputs and synthesized LambdaCAD outputs. Subtrees are
+/// shared via shared_ptr, so "trees" are really DAGs; size/depth metrics
+/// count the unrolled tree (matching how the paper counts AST nodes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHRINKRAY_CAD_TERM_H
+#define SHRINKRAY_CAD_TERM_H
+
+#include "cad/Op.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace shrinkray {
+
+class Term;
+/// Shared immutable term handle.
+using TermPtr = std::shared_ptr<const Term>;
+
+/// An operator applied to child terms.
+class Term {
+public:
+  Term(Op O, std::vector<TermPtr> Children)
+      : Operator(std::move(O)), Kids(std::move(Children)) {
+    assert((opArity(Operator.kind()) < 0 ||
+            static_cast<size_t>(opArity(Operator.kind())) == Kids.size()) &&
+           "child count does not match operator arity");
+#ifndef NDEBUG
+    for (const TermPtr &Kid : Kids)
+      assert(Kid && "null child term");
+#endif
+  }
+
+  const Op &op() const { return Operator; }
+  OpKind kind() const { return Operator.kind(); }
+  const std::vector<TermPtr> &children() const { return Kids; }
+  size_t numChildren() const { return Kids.size(); }
+  const TermPtr &child(size_t I) const {
+    assert(I < Kids.size() && "child index out of range");
+    return Kids[I];
+  }
+
+private:
+  Op Operator;
+  std::vector<TermPtr> Kids;
+};
+
+/// Creates a term node.
+TermPtr makeTerm(Op O, std::vector<TermPtr> Children = {});
+
+/// Number of AST nodes, unrolling shared subtrees (paper's #ns metric).
+uint64_t termSize(const TermPtr &T);
+
+/// AST depth; a leaf has depth 1 (paper's #d metric).
+uint64_t termDepth(const TermPtr &T);
+
+/// Number of solid-primitive leaves, unrolled (paper's #p metric). Counts
+/// Unit/Cylinder/Sphere/Hexagon/External occurrences; Repeat(prim, n) in an
+/// *unevaluated* term counts once (metrics are over the program text).
+uint64_t termPrimitives(const TermPtr &T);
+
+/// Structural equality (exact float comparison).
+bool termEquals(const TermPtr &A, const TermPtr &B);
+
+/// Structural equality with numeric literals compared within \p Eps.
+bool termApproxEquals(const TermPtr &A, const TermPtr &B, double Eps);
+
+/// Structural hash consistent with termEquals.
+size_t termHash(const TermPtr &T);
+
+/// True if the term is *flat CSG*: only primitives, affine transforms with
+/// literal Vec3 arguments, booleans, and External leaves (no lists, loops,
+/// functions, or variables). This is the expected input of the synthesizer.
+bool isFlatCsg(const TermPtr &T);
+
+/// True if the term contains a loop/function combinator (Fold/Map/Mapi/
+/// Repeat/Fun). Used to report "structure exposed" in the evaluation.
+bool containsLoop(const TermPtr &T);
+
+// --- Convenience constructors (the public TermBuilder API) -----------------
+
+TermPtr tEmpty();
+TermPtr tUnit();
+TermPtr tCylinder();
+TermPtr tSphere();
+TermPtr tHexagon();
+TermPtr tFloat(double Value);
+TermPtr tInt(int64_t Value);
+TermPtr tVar(std::string_view Name);
+TermPtr tExternal(std::string_view Name);
+TermPtr tVec3(TermPtr X, TermPtr Y, TermPtr Z);
+TermPtr tVec3(double X, double Y, double Z);
+TermPtr tTranslate(TermPtr Vec, TermPtr Child);
+TermPtr tTranslate(double X, double Y, double Z, TermPtr Child);
+TermPtr tScale(TermPtr Vec, TermPtr Child);
+TermPtr tScale(double X, double Y, double Z, TermPtr Child);
+TermPtr tRotate(TermPtr Vec, TermPtr Child);
+TermPtr tRotate(double X, double Y, double Z, TermPtr Child);
+TermPtr tUnion(TermPtr A, TermPtr B);
+TermPtr tDiff(TermPtr A, TermPtr B);
+TermPtr tInter(TermPtr A, TermPtr B);
+TermPtr tNil();
+TermPtr tCons(TermPtr Head, TermPtr Tail);
+TermPtr tConcat(TermPtr A, TermPtr B);
+TermPtr tRepeat(TermPtr Elem, TermPtr Count);
+TermPtr tFold(TermPtr F, TermPtr Init, TermPtr List);
+TermPtr tMap(TermPtr F, TermPtr List);
+TermPtr tMapi(TermPtr F, TermPtr List);
+TermPtr tFun(std::vector<TermPtr> ParamsThenBody);
+TermPtr tApp(std::vector<TermPtr> FnThenArgs);
+TermPtr tAdd(TermPtr A, TermPtr B);
+TermPtr tSub(TermPtr A, TermPtr B);
+TermPtr tMul(TermPtr A, TermPtr B);
+TermPtr tDiv(TermPtr A, TermPtr B);
+TermPtr tSin(TermPtr A);
+TermPtr tCos(TermPtr A);
+TermPtr tArctan(TermPtr A, TermPtr B);
+TermPtr tOpRef(OpKind BoolOp);
+
+/// Right-nested union of all of \p Items; Empty when the list is empty.
+TermPtr tUnionAll(const std::vector<TermPtr> &Items);
+
+/// Builds the list Cons(Items[0], Cons(..., Nil)).
+TermPtr tList(const std::vector<TermPtr> &Items);
+
+/// Builds Cons(Int 0, Cons(Int 1, ..., Nil)) with \p N entries.
+TermPtr tIndexList(int64_t N);
+
+} // namespace shrinkray
+
+#endif // SHRINKRAY_CAD_TERM_H

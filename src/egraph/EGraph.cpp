@@ -1,0 +1,403 @@
+//===-- egraph/EGraph.cpp - E-graph with congruence closure ---------------===//
+
+#include "egraph/EGraph.h"
+
+#include "linalg/Vec3.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_set>
+
+using namespace shrinkray;
+
+ENode EGraph::canonicalize(const ENode &Node) const {
+  ENode Out = Node;
+  for (EClassId &Kid : Out.Children)
+    Kid = UF.find(Kid);
+  return Out;
+}
+
+EClassId EGraph::add(ENode Node) {
+  Node = canonicalize(Node);
+  auto It = Memo.find(Node);
+  if (It != Memo.end())
+    return UF.find(It->second);
+
+  EClassId Id = UF.makeSet();
+  auto C = std::make_unique<EClass>();
+  C->Id = Id;
+  C->Nodes.push_back(Node);
+  C->Data = makeData(Node);
+  for (EClassId Kid : Node.Children)
+    eclassMut(Kid).Parents.emplace_back(Node, Id);
+  Classes.push_back(std::move(C));
+  assert(Classes.size() == UF.size() && "class table out of sync");
+  Memo.emplace(std::move(Node), Id);
+  modify(Id);
+  return UF.find(Id);
+}
+
+EClassId EGraph::addTerm(const TermPtr &T) {
+  std::vector<EClassId> Kids;
+  Kids.reserve(T->numChildren());
+  for (const TermPtr &Kid : T->children())
+    Kids.push_back(addTerm(Kid));
+  return add(ENode(T->op(), std::move(Kids)));
+}
+
+std::pair<EClassId, bool> EGraph::merge(EClassId A, EClassId B) {
+  A = UF.find(A);
+  B = UF.find(B);
+  if (A == B)
+    return {A, false};
+
+  // Keep the class with more parents as the root: repair() revisits the
+  // loser's parents, so this minimizes work.
+  if (Classes[A]->Parents.size() < Classes[B]->Parents.size())
+    std::swap(A, B);
+
+  UF.unite(A, B);
+  EClass &Root = *Classes[A];
+  std::unique_ptr<EClass> Loser = std::move(Classes[B]);
+
+  for (ENode &N : Loser->Nodes)
+    Root.Nodes.push_back(std::move(N));
+  for (auto &P : Loser->Parents)
+    Root.Parents.push_back(std::move(P));
+  bool DataChanged = joinData(Root.Data, Loser->Data);
+
+  Worklist.push_back(A);
+  if (DataChanged)
+    modify(A);
+  return {A, true};
+}
+
+void EGraph::rebuild() {
+  while (!Worklist.empty()) {
+    std::vector<EClassId> Todo;
+    Todo.swap(Worklist);
+    // Canonicalize and dedupe the batch.
+    for (EClassId &Id : Todo)
+      Id = UF.find(Id);
+    std::sort(Todo.begin(), Todo.end());
+    Todo.erase(std::unique(Todo.begin(), Todo.end()), Todo.end());
+    for (EClassId Id : Todo)
+      repair(UF.find(Id));
+  }
+}
+
+void EGraph::repair(EClassId Id) {
+  EClass &C = *Classes[UF.find(Id)];
+
+  // Re-canonicalize parent e-nodes, restoring the hash-consing invariant and
+  // discovering congruent parents to merge.
+  std::vector<std::pair<ENode, EClassId>> OldParents;
+  OldParents.swap(C.Parents);
+  for (auto &[PNode, PClass] : OldParents) {
+    Memo.erase(PNode);
+    ENode Canon = canonicalize(PNode);
+    auto It = Memo.find(Canon);
+    if (It != Memo.end()) {
+      // Congruence: two parents became identical.
+      merge(PClass, It->second);
+      It->second = UF.find(PClass);
+    } else {
+      Memo.emplace(Canon, UF.find(PClass));
+    }
+    PNode = std::move(Canon);
+    PClass = UF.find(PClass);
+  }
+
+  // Dedupe parents; duplicates that became congruent are merged.
+  std::unordered_map<ENode, EClassId, ENodeHash> Seen;
+  for (auto &[PNode, PClass] : OldParents) {
+    ENode Canon = canonicalize(PNode);
+    EClassId PCanon = UF.find(PClass);
+    auto [It, Inserted] = Seen.emplace(std::move(Canon), PCanon);
+    if (!Inserted) {
+      merge(It->second, PCanon);
+      It->second = UF.find(It->second);
+    }
+  }
+
+  // Push analysis data upward: a parent may now fold to a constant.
+  for (auto &[PNode, PClass] : Seen) {
+    EClassId PCanon = UF.find(PClass);
+    AnalysisData New = makeData(PNode);
+    EClass &Parent = *Classes[PCanon];
+    if (joinData(Parent.Data, New)) {
+      modify(PCanon);
+      Worklist.push_back(PCanon);
+    }
+  }
+
+  // Re-fetch: the merges above may have merged this class with another
+  // (self-referential nodes make that possible), invalidating references and
+  // possibly appending new parent entries that must be kept. Those appended
+  // entries are deduped by a later repair (the merge queued one).
+  EClass &C2 = *Classes[UF.find(Id)];
+  for (auto &[PNode, PClass] : Seen)
+    C2.Parents.emplace_back(PNode, UF.find(PClass));
+
+  // Canonicalize and dedupe this class's own nodes.
+  std::unordered_set<ENode, ENodeHash> NodeSet;
+  std::vector<ENode> NewNodes;
+  NewNodes.reserve(C2.Nodes.size());
+  for (const ENode &N : C2.Nodes) {
+    ENode Canon = canonicalize(N);
+    if (NodeSet.insert(Canon).second)
+      NewNodes.push_back(std::move(Canon));
+  }
+  C2.Nodes = std::move(NewNodes);
+}
+
+std::vector<EClassId> EGraph::classIds() const {
+  std::vector<EClassId> Ids;
+  for (size_t I = 0; I < Classes.size(); ++I)
+    if (Classes[I])
+      Ids.push_back(static_cast<EClassId>(I));
+  return Ids;
+}
+
+size_t EGraph::numClasses() const {
+  size_t N = 0;
+  for (const auto &C : Classes)
+    if (C)
+      ++N;
+  return N;
+}
+
+size_t EGraph::numNodes() const {
+  size_t N = 0;
+  for (const auto &C : Classes)
+    if (C)
+      N += C->Nodes.size();
+  return N;
+}
+
+std::optional<EClassId> EGraph::lookup(const ENode &Node) const {
+  auto It = Memo.find(canonicalize(Node));
+  if (It == Memo.end())
+    return std::nullopt;
+  return UF.find(It->second);
+}
+
+bool EGraph::representsTerm(EClassId Id, const TermPtr &T) const {
+  const EClass &C = eclass(Id);
+  for (const ENode &N : C.Nodes) {
+    if (N.Operator != T->op() || N.Children.size() != T->numChildren())
+      continue;
+    bool AllMatch = true;
+    for (size_t I = 0; I < N.Children.size(); ++I) {
+      if (!representsTerm(N.Children[I], T->child(I))) {
+        AllMatch = false;
+        break;
+      }
+    }
+    if (AllMatch)
+      return true;
+  }
+  return false;
+}
+
+bool EGraph::representsTermApprox(EClassId Id, const TermPtr &T,
+                                  double Eps) const {
+  if (T->kind() == OpKind::Float || T->kind() == OpKind::Int) {
+    const AnalysisData &D = data(Id);
+    return D.NumConst &&
+           std::fabs(*D.NumConst - T->op().numericValue()) <= Eps;
+  }
+  const EClass &C = eclass(Id);
+  for (const ENode &N : C.Nodes) {
+    if (N.Operator != T->op() || N.Children.size() != T->numChildren())
+      continue;
+    bool AllMatch = true;
+    for (size_t I = 0; I < N.Children.size(); ++I) {
+      if (!representsTermApprox(N.Children[I], T->child(I), Eps)) {
+        AllMatch = false;
+        break;
+      }
+    }
+    if (AllMatch)
+      return true;
+  }
+  return false;
+}
+
+AnalysisData EGraph::makeData(const ENode &Node) const {
+  AnalysisData Out;
+  const Op &O = Node.Operator;
+  switch (O.kind()) {
+  case OpKind::Int:
+    Out.NumConst = static_cast<double>(O.intValue());
+    Out.NumIsInt = true;
+    return Out;
+  case OpKind::Float:
+    Out.NumConst = O.floatValue();
+    Out.NumIsInt = false;
+    return Out;
+  case OpKind::Add:
+  case OpKind::Sub:
+  case OpKind::Mul:
+  case OpKind::Div: {
+    const AnalysisData &A = data(Node.Children[0]);
+    const AnalysisData &B = data(Node.Children[1]);
+    if (!A.NumConst || !B.NumConst)
+      return Out;
+    double X = *A.NumConst, Y = *B.NumConst;
+    switch (O.kind()) {
+    case OpKind::Add:
+      Out.NumConst = X + Y;
+      break;
+    case OpKind::Sub:
+      Out.NumConst = X - Y;
+      break;
+    case OpKind::Mul:
+      Out.NumConst = X * Y;
+      break;
+    default:
+      if (Y == 0.0)
+        return Out;
+      Out.NumConst = X / Y;
+      break;
+    }
+    Out.NumIsInt = A.NumIsInt && B.NumIsInt && O.kind() != OpKind::Div &&
+                   *Out.NumConst == std::floor(*Out.NumConst);
+    return Out;
+  }
+  case OpKind::Sin:
+  case OpKind::Cos: {
+    const AnalysisData &A = data(Node.Children[0]);
+    if (!A.NumConst)
+      return Out;
+    Out.NumConst = O.kind() == OpKind::Sin ? std::sin(degToRad(*A.NumConst))
+                                           : std::cos(degToRad(*A.NumConst));
+    return Out;
+  }
+  default:
+    return Out;
+  }
+}
+
+bool EGraph::joinData(AnalysisData &Into, const AnalysisData &From) {
+  if (!From.NumConst)
+    return false;
+  if (!Into.NumConst) {
+    Into = From;
+    return true;
+  }
+  // Two constants merged into one class must agree (up to roundoff noise
+  // introduced by rewrites; tolerance mirrors the solver epsilon).
+  assert(std::fabs(*Into.NumConst - *From.NumConst) <= 1e-6 &&
+         "merged classes with distinct constants");
+  if (!Into.NumIsInt && From.NumIsInt) {
+    Into.NumIsInt = true; // prefer the integer-typed witness
+    return true;
+  }
+  return false;
+}
+
+void EGraph::modify(EClassId Id) {
+  Id = UF.find(Id);
+  const AnalysisData D = Classes[Id]->Data; // copy: add() may reallocate
+  if (!D.NumConst)
+    return;
+  // Materialize the constant as a literal leaf in this class so that
+  // extraction can always choose the folded form. Integral values get an
+  // Int leaf regardless of provenance, which also unifies Float(k) with
+  // Int(k) classes (numeric classes are keyed by value).
+  bool Integral = *D.NumConst == std::floor(*D.NumConst) &&
+                  std::fabs(*D.NumConst) < 9e15;
+  Op Literal = Integral ? Op::makeInt(static_cast<int64_t>(*D.NumConst))
+                        : Op::makeFloat(*D.NumConst);
+  // The class now holds an integer-typed witness.
+  if (Integral && !Classes[Id]->Data.NumIsInt)
+    Classes[Id]->Data.NumIsInt = true;
+  ENode Leaf(Literal, {});
+  auto It = Memo.find(Leaf);
+  if (It != Memo.end()) {
+    if (UF.find(It->second) != Id)
+      merge(Id, It->second);
+    return;
+  }
+  // Insert the leaf directly into this class (bypassing add(), which would
+  // create a fresh class).
+  Classes[Id]->Nodes.push_back(Leaf);
+  Memo.emplace(std::move(Leaf), Id);
+}
+
+std::string EGraph::checkInvariants() const {
+  if (isDirty())
+    return "graph is dirty: call rebuild() before checking invariants";
+  std::ostringstream Os;
+
+  // 1. Every canonical node of every class maps to that class in the memo
+  //    (hash-consing), and no two classes contain congruent nodes.
+  std::unordered_map<ENode, EClassId, ENodeHash> Seen;
+  for (EClassId Id : classIds()) {
+    for (const ENode &N : eclass(Id).Nodes) {
+      ENode Canon = canonicalize(N);
+      auto MemoIt = Memo.find(Canon);
+      if (MemoIt == Memo.end()) {
+        Os << "node " << Canon.Operator.str() << " of class " << Id
+           << " missing from memo";
+        return Os.str();
+      }
+      if (UF.find(MemoIt->second) != Id) {
+        Os << "memo maps a node of class " << Id << " to class "
+           << UF.find(MemoIt->second);
+        return Os.str();
+      }
+      auto [It, Inserted] = Seen.emplace(Canon, Id);
+      if (!Inserted && It->second != Id) {
+        Os << "congruence violation: identical node in classes "
+           << It->second << " and " << Id;
+        return Os.str();
+      }
+    }
+  }
+
+  // 2. Every child class records the parent relationship.
+  for (EClassId Id : classIds()) {
+    for (const ENode &N : eclass(Id).Nodes) {
+      ENode Canon = canonicalize(N);
+      for (EClassId Kid : Canon.Children) {
+        bool Found = false;
+        for (const auto &[PNode, PClass] : eclass(Kid).Parents)
+          if (canonicalize(PNode) == Canon && UF.find(PClass) == Id) {
+            Found = true;
+            break;
+          }
+        if (!Found) {
+          Os << "class " << UF.find(Kid)
+             << " missing parent entry for a node of class " << Id;
+          return Os.str();
+        }
+      }
+    }
+  }
+  return "";
+}
+
+std::string EGraph::dump() const {
+  std::ostringstream Os;
+  for (EClassId Id : classIds()) {
+    const EClass &C = *Classes[Id];
+    Os << "class " << Id;
+    if (C.Data.NumConst)
+      Os << " [const " << *C.Data.NumConst << (C.Data.NumIsInt ? "i" : "f")
+         << "]";
+    Os << ":\n";
+    for (const ENode &N : C.Nodes) {
+      Os << "  " << N.Operator.str() << "(";
+      for (size_t I = 0; I < N.Children.size(); ++I) {
+        if (I)
+          Os << ", ";
+        Os << UF.find(N.Children[I]);
+      }
+      Os << ")\n";
+    }
+  }
+  return Os.str();
+}

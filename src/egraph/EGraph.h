@@ -1,0 +1,149 @@
+//===-- egraph/EGraph.h - E-graph with congruence closure -------*- C++ -*-===//
+//
+// Part of the ShrinkRay reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The e-graph engine at the core of ShrinkRay (paper Sec. 3.1). An e-graph
+/// is a set of e-classes, each a set of e-nodes; it maintains congruence
+/// closure under merges using deferred rebuilding (the invariant-restoration
+/// strategy later popularized by egg). The graph also carries a constant-
+/// folding e-class analysis: every class whose terms all evaluate to the
+/// same numeric constant knows that constant, which the affine-collapsing
+/// rewrites and the arithmetic function solvers rely on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHRINKRAY_EGRAPH_EGRAPH_H
+#define SHRINKRAY_EGRAPH_EGRAPH_H
+
+#include "cad/Term.h"
+#include "egraph/ENode.h"
+#include "egraph/UnionFind.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace shrinkray {
+
+/// Per-class analysis data: the numeric constant all members evaluate to,
+/// if any. Maintained bottom-up across add/merge (egg-style analysis).
+struct AnalysisData {
+  std::optional<double> NumConst;
+  bool NumIsInt = false;
+
+  friend bool operator==(const AnalysisData &A, const AnalysisData &B) {
+    return A.NumConst == B.NumConst && A.NumIsInt == B.NumIsInt;
+  }
+};
+
+/// An equivalence class of e-nodes.
+struct EClass {
+  EClassId Id = 0;
+  std::vector<ENode> Nodes;
+  /// (parent e-node, class containing it) pairs; forms may be stale between
+  /// rebuilds and are re-canonicalized during repair.
+  std::vector<std::pair<ENode, EClassId>> Parents;
+  AnalysisData Data;
+};
+
+/// E-graph over the CAD operator vocabulary.
+class EGraph {
+public:
+  EGraph() = default;
+  EGraph(const EGraph &) = delete;
+  EGraph &operator=(const EGraph &) = delete;
+
+  /// Adds (hash-conses) an e-node; children are canonicalized first.
+  /// Returns the canonical id of the class containing it.
+  EClassId add(ENode Node);
+
+  /// Adds a whole term bottom-up; returns the class of its root.
+  EClassId addTerm(const TermPtr &T);
+
+  /// Unifies two classes. Returns the canonical id of the merged class and
+  /// whether anything changed. Congruence is restored lazily: call rebuild()
+  /// before reading the graph again.
+  std::pair<EClassId, bool> merge(EClassId A, EClassId B);
+
+  /// Restores the congruence and hash-consing invariants after merges.
+  void rebuild();
+
+  /// True when merges are pending and rebuild() must run before queries.
+  bool isDirty() const { return !Worklist.empty(); }
+
+  EClassId find(EClassId Id) const { return UF.find(Id); }
+
+  const EClass &eclass(EClassId Id) const {
+    const EClass *C = Classes[UF.find(Id)].get();
+    assert(C && "canonical class must be live");
+    return *C;
+  }
+
+  const AnalysisData &data(EClassId Id) const { return eclass(Id).Data; }
+
+  /// All canonical class ids, in increasing id order (deterministic).
+  std::vector<EClassId> classIds() const;
+
+  /// Number of live (canonical) classes.
+  size_t numClasses() const;
+
+  /// Total number of e-nodes across live classes.
+  size_t numNodes() const;
+
+  /// Canonicalizes an e-node's children.
+  ENode canonicalize(const ENode &Node) const;
+
+  /// True if the class (transitively) represents exactly the given term.
+  bool representsTerm(EClassId Id, const TermPtr &T) const;
+
+  /// Like representsTerm, but numeric leaves match by value within \p Eps
+  /// (Int(5) matches Float(5.0); folded constants match their literals).
+  bool representsTermApprox(EClassId Id, const TermPtr &T, double Eps) const;
+
+  /// Looks up the class that would contain \p Node, if it exists.
+  std::optional<EClassId> lookup(const ENode &Node) const;
+
+  /// Multi-line dump for debugging and golden tests.
+  std::string dump() const;
+
+  /// Validates the e-graph's internal invariants (canonical hash-consing,
+  /// congruence closure, parent-pointer consistency). Returns an empty
+  /// string when everything holds, else a description of the first
+  /// violation. Requires a clean graph (rebuild() first). Intended for
+  /// tests and debugging; O(nodes * arity).
+  std::string checkInvariants() const;
+
+private:
+  UnionFind UF;
+  /// Indexed by id; only canonical ids hold live classes.
+  std::vector<std::unique_ptr<EClass>> Classes;
+  std::unordered_map<ENode, EClassId, ENodeHash> Memo;
+  std::vector<EClassId> Worklist;
+
+  EClass &eclassMut(EClassId Id) {
+    EClass *C = Classes[UF.find(Id)].get();
+    assert(C && "canonical class must be live");
+    return *C;
+  }
+
+  /// Computes the analysis data an e-node would contribute.
+  AnalysisData makeData(const ENode &Node) const;
+
+  /// Merges \p From into \p Into. Returns true if \p Into changed.
+  static bool joinData(AnalysisData &Into, const AnalysisData &From);
+
+  /// Analysis hook run when a class's data changes: materializes numeric
+  /// constants as literal leaf e-nodes so extraction can pick them.
+  void modify(EClassId Id);
+
+  void repair(EClassId Id);
+};
+
+} // namespace shrinkray
+
+#endif // SHRINKRAY_EGRAPH_EGRAPH_H

@@ -1,0 +1,54 @@
+//===-- egraph/ENode.h - E-nodes ---------------------------------*- C++ -*-===//
+//
+// Part of the ShrinkRay reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An e-node is an operator applied to e-class ids (paper Sec. 3.1: "each
+/// enode represents an operator applied to some eclasses"). E-nodes are the
+/// keys of the e-graph's hash-consing table once their children are
+/// canonicalized.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHRINKRAY_EGRAPH_ENODE_H
+#define SHRINKRAY_EGRAPH_ENODE_H
+
+#include "cad/Op.h"
+#include "egraph/UnionFind.h"
+#include "support/Hashing.h"
+
+#include <vector>
+
+namespace shrinkray {
+
+/// An operator applied to argument e-classes.
+struct ENode {
+  Op Operator;
+  std::vector<EClassId> Children;
+
+  ENode(Op O, std::vector<EClassId> Children)
+      : Operator(std::move(O)), Children(std::move(Children)) {}
+
+  OpKind kind() const { return Operator.kind(); }
+
+  friend bool operator==(const ENode &A, const ENode &B) {
+    return A.Operator == B.Operator && A.Children == B.Children;
+  }
+
+  size_t hash() const {
+    size_t Seed = Operator.hash();
+    for (EClassId Kid : Children)
+      hashCombine(Seed, std::hash<EClassId>()(Kid));
+    return Seed;
+  }
+};
+
+struct ENodeHash {
+  size_t operator()(const ENode &N) const noexcept { return N.hash(); }
+};
+
+} // namespace shrinkray
+
+#endif // SHRINKRAY_EGRAPH_ENODE_H

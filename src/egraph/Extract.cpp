@@ -1,0 +1,217 @@
+//===-- egraph/Extract.cpp - Cost-based extraction ------------------------===//
+
+#include "egraph/Extract.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+using namespace shrinkray;
+
+//===----------------------------------------------------------------------===//
+// One-best extraction
+//===----------------------------------------------------------------------===//
+
+Extractor::Extractor(const EGraph &G, const CostFn &Fn) : G(G) {
+  assert(!G.isDirty() && "extraction on a dirty e-graph");
+  // Fixpoint: costs only decrease and are bounded below, so this terminates.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (EClassId Id : G.classIds()) {
+      for (const ENode &Node : G.eclass(Id).Nodes) {
+        std::vector<double> Kids;
+        Kids.reserve(Node.Children.size());
+        bool AllKnown = true;
+        for (EClassId Kid : Node.Children) {
+          auto It = Costs.find(G.find(Kid));
+          if (It == Costs.end()) {
+            AllKnown = false;
+            break;
+          }
+          Kids.push_back(It->second);
+        }
+        if (!AllKnown)
+          continue;
+        double C = Fn.cost(Node.Operator, Kids);
+        auto It = Costs.find(Id);
+        if (It == Costs.end() || C < It->second) {
+          Costs[Id] = C;
+          Choices.insert_or_assign(Id, Node);
+          Changed = true;
+        }
+      }
+    }
+  }
+}
+
+std::optional<double> Extractor::bestCost(EClassId Id) const {
+  auto It = Costs.find(G.find(Id));
+  if (It == Costs.end())
+    return std::nullopt;
+  return It->second;
+}
+
+TermPtr Extractor::extract(EClassId Id) const { return build(G.find(Id)); }
+
+TermPtr Extractor::build(EClassId Id) const {
+  Id = G.find(Id);
+  auto Memo = BuildMemo.find(Id);
+  if (Memo != BuildMemo.end())
+    return Memo->second;
+  auto It = Choices.find(Id);
+  assert(It != Choices.end() && "extracting from a class with no finite cost");
+  const ENode &Node = It->second;
+  std::vector<TermPtr> Kids;
+  Kids.reserve(Node.Children.size());
+  for (EClassId Kid : Node.Children)
+    Kids.push_back(build(Kid));
+  TermPtr T = makeTerm(Node.Operator, std::move(Kids));
+  BuildMemo.emplace(Id, T);
+  return T;
+}
+
+//===----------------------------------------------------------------------===//
+// Top-k extraction
+//===----------------------------------------------------------------------===//
+
+KBestExtractor::KBestExtractor(const EGraph &G, const CostFn &Fn, size_t K)
+    : G(G), Fn(Fn), K(K) {
+  assert(!G.isDirty() && "extraction on a dirty e-graph");
+  assert(K >= 1 && "k must be positive");
+  // Process classes in ascending one-best-cost order: under a monotone cost
+  // function a node's children are strictly cheaper than the node, so a
+  // single ordered pass almost always reaches the fixpoint and the loop
+  // below exits after the confirming pass.
+  Extractor OneBest(G, Fn);
+  ClassOrder = G.classIds();
+  std::stable_sort(ClassOrder.begin(), ClassOrder.end(),
+                   [&](EClassId A, EClassId B) {
+                     double CA = OneBest.bestCost(A).value_or(1e308);
+                     double CB = OneBest.bestCost(B).value_or(1e308);
+                     return CA < CB;
+                   });
+  // Candidate sets only improve (costs shrink or new distinct cheap terms
+  // appear) and are bounded, so this terminates; the pass cap is sheer
+  // paranoia for pathological graphs.
+  const size_t MaxPasses = 4 * G.numClasses() + 8;
+  for (size_t Pass = 0; Pass < MaxPasses; ++Pass)
+    if (!this->pass())
+      break;
+}
+
+/// Best-first enumeration of child-candidate combinations for one e-node
+/// ("cube pruning" / lazy k-best). Requires all children to have candidates.
+std::vector<KBestExtractor::Candidate>
+KBestExtractor::combineNode(const ENode &Node) const {
+  const size_t Arity = Node.Children.size();
+  std::vector<const std::vector<Candidate> *> Lists(Arity);
+  for (size_t I = 0; I < Arity; ++I) {
+    auto It = Table.find(G.find(Node.Children[I]));
+    if (It == Table.end() || It->second.empty())
+      return {};
+    Lists[I] = &It->second;
+  }
+
+  auto comboCost = [&](const std::vector<size_t> &Ix) {
+    std::vector<double> Kids(Arity);
+    for (size_t I = 0; I < Arity; ++I)
+      Kids[I] = (*Lists[I])[Ix[I]].Cost;
+    return Fn.cost(Node.Operator, Kids);
+  };
+
+  using HeapItem = std::pair<double, std::vector<size_t>>;
+  auto Greater = [](const HeapItem &A, const HeapItem &B) {
+    return A.first > B.first;
+  };
+  std::priority_queue<HeapItem, std::vector<HeapItem>, decltype(Greater)>
+      Frontier(Greater);
+  std::set<std::vector<size_t>> Visited;
+
+  std::vector<size_t> First(Arity, 0);
+  Frontier.emplace(comboCost(First), First);
+  Visited.insert(std::move(First));
+
+  std::vector<Candidate> Out;
+  while (!Frontier.empty() && Out.size() < K) {
+    auto [Cost, Ix] = Frontier.top();
+    Frontier.pop();
+
+    std::vector<TermPtr> Kids(Arity);
+    for (size_t I = 0; I < Arity; ++I)
+      Kids[I] = (*Lists[I])[Ix[I]].T;
+    Candidate C;
+    C.Cost = Cost;
+    C.T = makeTerm(Node.Operator, std::move(Kids));
+    C.Hash = termHash(C.T);
+    Out.push_back(std::move(C));
+
+    // Expand successors: bump one child index at a time.
+    for (size_t I = 0; I < Arity; ++I) {
+      if (Ix[I] + 1 >= Lists[I]->size())
+        continue;
+      std::vector<size_t> Next = Ix;
+      ++Next[I];
+      if (Visited.insert(Next).second)
+        Frontier.emplace(comboCost(Next), std::move(Next));
+    }
+  }
+  return Out;
+}
+
+bool KBestExtractor::pass() {
+  bool Changed = false;
+  for (EClassId Id : ClassOrder) {
+    std::vector<Candidate> Merged;
+    for (const ENode &Node : G.eclass(Id).Nodes)
+      for (Candidate &C : combineNode(Node))
+        Merged.push_back(std::move(C));
+    if (Merged.empty())
+      continue;
+
+    std::stable_sort(Merged.begin(), Merged.end(),
+                     [](const Candidate &A, const Candidate &B) {
+                       return A.Cost < B.Cost;
+                     });
+    // Dedupe, keeping the cheapest. Numeric literals compare by value so
+    // that Int(5) vs Float(5.0) does not masquerade as program diversity.
+    std::vector<Candidate> Unique;
+    for (Candidate &C : Merged) {
+      bool Dup = false;
+      for (const Candidate &U : Unique)
+        if (termApproxEquals(U.T, C.T, 0.0)) {
+          Dup = true;
+          break;
+        }
+      if (!Dup)
+        Unique.push_back(std::move(C));
+      if (Unique.size() == K)
+        break;
+    }
+
+    std::vector<Candidate> &Slot = Table[Id];
+    bool Same = Slot.size() == Unique.size();
+    if (Same)
+      for (size_t I = 0; I < Slot.size(); ++I)
+        if (Slot[I].Cost != Unique[I].Cost || Slot[I].Hash != Unique[I].Hash ||
+            !termEquals(Slot[I].T, Unique[I].T)) {
+          Same = false;
+          break;
+        }
+    if (!Same) {
+      Slot = std::move(Unique);
+      Changed = true;
+    }
+  }
+  return Changed;
+}
+
+std::vector<RankedTerm> KBestExtractor::extract(EClassId Id) const {
+  std::vector<RankedTerm> Out;
+  auto It = Table.find(G.find(Id));
+  if (It == Table.end())
+    return Out;
+  for (const Candidate &C : It->second)
+    Out.push_back({C.T, C.Cost});
+  return Out;
+}

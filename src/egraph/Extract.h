@@ -1,0 +1,119 @@
+//===-- egraph/Extract.h - Cost-based extraction ----------------*- C++ -*-===//
+//
+// Part of the ShrinkRay reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Extraction of the best (and top-k best) programs from a saturated e-graph
+/// under a user-supplied cost function (paper Sec. 5.1). Costs may depend
+/// recursively on argument costs; both the default AST-size cost and the
+/// `reward-loops` variant from the evaluation live in synth/Cost.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHRINKRAY_EGRAPH_EXTRACT_H
+#define SHRINKRAY_EGRAPH_EXTRACT_H
+
+#include "egraph/EGraph.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+namespace shrinkray {
+
+/// A cost function over operators and already-computed child costs.
+class CostFn {
+public:
+  virtual ~CostFn() = default;
+
+  /// Cost of a node with operator \p O whose children cost \p ChildCosts.
+  /// Must be monotone: not smaller than any child cost (this guarantees
+  /// extraction terminates on cyclic e-graphs).
+  virtual double cost(const Op &O,
+                      const std::vector<double> &ChildCosts) const = 0;
+};
+
+/// The paper's default cost: number of AST nodes. Float literals carry an
+/// infinitesimal surcharge so that, among value-equal programs, extraction
+/// deterministically prefers integer spellings (as the paper's figures do).
+class AstSizeCost : public CostFn {
+public:
+  double cost(const Op &O, const std::vector<double> &ChildCosts) const final {
+    double Sum = O.kind() == OpKind::Float ? 1.0 + 1e-9 : 1.0;
+    for (double C : ChildCosts)
+      Sum += C;
+    return Sum;
+  }
+};
+
+/// AST-depth cost: extracts the shallowest program (a secondary metric the
+/// evaluation reports; max of child costs plus one).
+class AstDepthCost : public CostFn {
+public:
+  double cost(const Op &, const std::vector<double> &ChildCosts) const final {
+    double Max = 0.0;
+    for (double C : ChildCosts)
+      Max = std::max(Max, C);
+    return Max + 1.0;
+  }
+};
+
+/// One-best extraction: computes, per class, the cheapest representable term.
+class Extractor {
+public:
+  Extractor(const EGraph &G, const CostFn &Fn);
+
+  /// Cheapest cost of any term in the class, if one is extractable.
+  std::optional<double> bestCost(EClassId Id) const;
+
+  /// The cheapest term of the class. Asserts that one exists.
+  TermPtr extract(EClassId Id) const;
+
+private:
+  const EGraph &G;
+  // Indexed by canonical class id.
+  std::unordered_map<EClassId, double> Costs;
+  std::unordered_map<EClassId, ENode> Choices;
+  mutable std::unordered_map<EClassId, TermPtr> BuildMemo;
+
+  TermPtr build(EClassId Id) const;
+};
+
+/// A term together with its extraction cost.
+struct RankedTerm {
+  TermPtr T;
+  double Cost;
+};
+
+/// Top-k extraction: per class, the k cheapest *distinct* terms (paper
+/// Sec. 5.1: ShrinkRay returns the top-k programs so the user can pick the
+/// parameterization that suits the edit they want to make).
+class KBestExtractor {
+public:
+  KBestExtractor(const EGraph &G, const CostFn &Fn, size_t K);
+
+  /// Up to k cheapest distinct terms of the class, cheapest first.
+  std::vector<RankedTerm> extract(EClassId Id) const;
+
+private:
+  struct Candidate {
+    double Cost = std::numeric_limits<double>::infinity();
+    TermPtr T;
+    size_t Hash = 0;
+  };
+
+  const EGraph &G;
+  const CostFn &Fn;
+  size_t K;
+  std::vector<EClassId> ClassOrder; ///< ascending one-best cost
+  std::unordered_map<EClassId, std::vector<Candidate>> Table;
+
+  std::vector<Candidate> combineNode(const ENode &Node) const;
+  bool pass();
+};
+
+} // namespace shrinkray
+
+#endif // SHRINKRAY_EGRAPH_EXTRACT_H

@@ -1,0 +1,124 @@
+//===-- egraph/Pattern.cpp - E-matching patterns --------------------------===//
+
+#include "egraph/Pattern.h"
+
+#include "cad/Sexp.h"
+
+#include <functional>
+
+using namespace shrinkray;
+
+Pattern::Pattern(TermPtr T) : Root(std::move(T)) { collectVars(Root, Vars); }
+
+Pattern Pattern::parse(std::string_view Sexp) {
+  ParseResult R = parseSexp(Sexp);
+  assert(R && "pattern constant failed to parse");
+  return Pattern(R.Value);
+}
+
+void Pattern::collectVars(const TermPtr &T, std::vector<Symbol> &Out) {
+  if (T->kind() == OpKind::PatVar) {
+    Symbol Name = T->op().symbol();
+    for (Symbol Existing : Out)
+      if (Existing == Name)
+        return;
+    Out.push_back(Name);
+    return;
+  }
+  for (const TermPtr &Kid : T->children())
+    collectVars(Kid, Out);
+}
+
+namespace {
+
+/// Backtracking e-matcher in continuation-passing style so that sibling
+/// subpatterns share one substitution.
+class Matcher {
+public:
+  Matcher(const EGraph &G, std::vector<Subst> &Out) : G(G), Out(Out) {}
+
+  void match(const TermPtr &Pat, EClassId Class) {
+    Subst S;
+    rec(Pat, Class, S, [&] { Out.push_back(S); });
+  }
+
+private:
+  const EGraph &G;
+  std::vector<Subst> &Out;
+
+  void rec(const TermPtr &Pat, EClassId Class, Subst &S,
+           const std::function<void()> &K) {
+    Class = G.find(Class);
+    if (Pat->kind() == OpKind::PatVar) {
+      Symbol Var = Pat->op().symbol();
+      if (std::optional<EClassId> Bound = S.get(Var)) {
+        if (G.find(*Bound) == Class)
+          K();
+        return;
+      }
+      S.bind(Var, Class);
+      K();
+      S.pop();
+      return;
+    }
+    for (const ENode &Node : G.eclass(Class).Nodes) {
+      if (Node.Operator != Pat->op() ||
+          Node.Children.size() != Pat->numChildren())
+        continue;
+      recChildren(Pat, Node, 0, S, K);
+    }
+  }
+
+  void recChildren(const TermPtr &Pat, const ENode &Node, size_t I, Subst &S,
+                   const std::function<void()> &K) {
+    if (I == Pat->numChildren()) {
+      K();
+      return;
+    }
+    rec(Pat->child(I), Node.Children[I], S,
+        [&] { recChildren(Pat, Node, I + 1, S, K); });
+  }
+};
+
+} // namespace
+
+std::vector<Subst> Pattern::matchClass(const EGraph &G, EClassId Root) const {
+  assert(!G.isDirty() && "match on a dirty e-graph; call rebuild() first");
+  std::vector<Subst> Out;
+  Matcher M(G, Out);
+  M.match(this->Root, Root);
+  return Out;
+}
+
+std::vector<std::pair<EClassId, Subst>>
+Pattern::search(const EGraph &G) const {
+  std::vector<std::pair<EClassId, Subst>> Out;
+  for (EClassId Id : G.classIds())
+    for (Subst &S : matchClass(G, Id))
+      Out.emplace_back(Id, std::move(S));
+  return Out;
+}
+
+std::vector<std::pair<EClassId, Subst>>
+Pattern::searchIn(const EGraph &G,
+                  const std::vector<EClassId> &Candidates) const {
+  std::vector<std::pair<EClassId, Subst>> Out;
+  for (EClassId Id : Candidates)
+    for (Subst &S : matchClass(G, Id))
+      Out.emplace_back(Id, std::move(S));
+  return Out;
+}
+
+EClassId Pattern::instantiate(EGraph &G, const Subst &S) const {
+  std::function<EClassId(const TermPtr &)> Rec =
+      [&](const TermPtr &Pat) -> EClassId {
+    if (Pat->kind() == OpKind::PatVar)
+      return S[Pat->op().symbol()];
+    std::vector<EClassId> Kids;
+    Kids.reserve(Pat->numChildren());
+    for (const TermPtr &Kid : Pat->children())
+      Kids.push_back(Rec(Kid));
+    return G.add(ENode(Pat->op(), std::move(Kids)));
+  };
+  return Rec(Root);
+}

@@ -1,0 +1,114 @@
+//===-- egraph/Pattern.h - E-matching patterns ------------------*- C++ -*-===//
+//
+// Part of the ShrinkRay reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Patterns over the CAD vocabulary with pattern variables (`?x`), matched
+/// against e-graphs (e-matching). A match of pattern `a` in class `c` yields
+/// a substitution mapping each pattern variable to an e-class; rewrites then
+/// instantiate their right-hand side under that substitution and merge it
+/// with `c` (paper Sec. 3.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHRINKRAY_EGRAPH_PATTERN_H
+#define SHRINKRAY_EGRAPH_PATTERN_H
+
+#include "cad/Term.h"
+#include "egraph/EGraph.h"
+
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace shrinkray {
+
+/// A substitution from pattern variables to e-classes.
+class Subst {
+public:
+  /// Looks up a binding; asserts that it exists.
+  EClassId operator[](Symbol Var) const {
+    for (const auto &[Name, Class] : Bindings)
+      if (Name == Var)
+        return Class;
+    assert(false && "unbound pattern variable");
+    return 0;
+  }
+
+  /// Returns the binding for \p Var, or nullopt.
+  std::optional<EClassId> get(Symbol Var) const {
+    for (const auto &[Name, Class] : Bindings)
+      if (Name == Var)
+        return Class;
+    return std::nullopt;
+  }
+
+  void bind(Symbol Var, EClassId Class) {
+    assert(!get(Var) && "rebinding a pattern variable");
+    Bindings.emplace_back(Var, Class);
+  }
+
+  void pop() {
+    assert(!Bindings.empty() && "pop on empty substitution");
+    Bindings.pop_back();
+  }
+
+  size_t size() const { return Bindings.size(); }
+
+private:
+  // Small linear map: patterns have a handful of variables.
+  std::vector<std::pair<Symbol, EClassId>> Bindings;
+};
+
+/// A compiled pattern: a term tree in which PatVar leaves are variables.
+class Pattern {
+public:
+  /// Compiles \p T into a pattern. PatVar nodes become variables.
+  explicit Pattern(TermPtr T);
+
+  /// Parses a pattern from s-expression syntax (with `?x` variables).
+  /// Asserts on parse errors: pattern strings are compiled-in constants.
+  static Pattern parse(std::string_view Sexp);
+
+  const TermPtr &term() const { return Root; }
+
+  /// The distinct pattern variables, in first-occurrence order.
+  const std::vector<Symbol> &vars() const { return Vars; }
+
+  /// All matches of this pattern rooted at class \p Root.
+  std::vector<Subst> matchClass(const EGraph &G, EClassId Root) const;
+
+  /// All matches anywhere in the graph: (root class, substitution) pairs.
+  std::vector<std::pair<EClassId, Subst>> search(const EGraph &G) const;
+
+  /// The operator kind at the pattern root. Asserts the root is not a
+  /// pattern variable (true of every rewrite in the database); used to
+  /// restrict search to classes containing a node of that kind.
+  OpKind rootKind() const {
+    assert(Root->kind() != OpKind::PatVar && "var-rooted pattern");
+    return Root->kind();
+  }
+
+  /// Like search(), but only scans \p Candidates (classes known to contain
+  /// a node with the root operator kind).
+  std::vector<std::pair<EClassId, Subst>>
+  searchIn(const EGraph &G, const std::vector<EClassId> &Candidates) const;
+
+  /// Builds the term/e-nodes for this pattern under \p S in \p G, returning
+  /// the class of the instantiated root. All variables must be bound.
+  EClassId instantiate(EGraph &G, const Subst &S) const;
+
+private:
+  TermPtr Root;
+  std::vector<Symbol> Vars;
+
+  static void collectVars(const TermPtr &T, std::vector<Symbol> &Out);
+  static void matchRec(const EGraph &G, const TermPtr &Pat, EClassId Class,
+                       Subst &Current, std::vector<Subst> &Out);
+};
+
+} // namespace shrinkray
+
+#endif // SHRINKRAY_EGRAPH_PATTERN_H

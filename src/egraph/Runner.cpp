@@ -1,0 +1,91 @@
+//===-- egraph/Runner.cpp - Equality saturation driver --------------------===//
+
+#include "egraph/Runner.h"
+
+#include <array>
+#include <chrono>
+
+using namespace shrinkray;
+
+RunnerReport Runner::run(EGraph &G, const std::vector<Rewrite> &Rules) const {
+  using Clock = std::chrono::steady_clock;
+  const auto Start = Clock::now();
+  auto elapsed = [&] {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  };
+
+  RunnerReport Report;
+  // Backoff state per rule: banned-until iteration and current ban length.
+  std::vector<size_t> BannedUntil(Rules.size(), 0);
+  std::vector<size_t> BanLength(Rules.size(), Limits.BanLengthIters);
+
+  G.rebuild();
+  for (size_t Iter = 0; Iter < Limits.IterLimit; ++Iter) {
+    IterationStats Stats;
+    size_t NodesBefore = G.numNodes();
+
+    // Index classes by the operator kinds they contain so each rule only
+    // scans classes that can possibly match its root.
+    std::array<std::vector<EClassId>, NumOpKinds> KindIndex;
+    for (EClassId Id : G.classIds()) {
+      uint64_t SeenMask = 0;
+      for (const ENode &N : G.eclass(Id).Nodes) {
+        uint64_t Bit = uint64_t(1) << static_cast<unsigned>(N.kind());
+        if (SeenMask & Bit)
+          continue;
+        SeenMask |= Bit;
+        KindIndex[static_cast<unsigned>(N.kind())].push_back(Id);
+      }
+    }
+
+    // Phase 1: search all rules against a consistent graph snapshot.
+    std::vector<std::vector<std::pair<EClassId, Subst>>> AllMatches(
+        Rules.size());
+    for (size_t R = 0; R < Rules.size(); ++R) {
+      if (BannedUntil[R] > Iter)
+        continue;
+      unsigned RootKind =
+          static_cast<unsigned>(Rules[R].lhs().rootKind());
+      AllMatches[R] = Rules[R].searchIn(G, KindIndex[RootKind]);
+      Stats.Matches += AllMatches[R].size();
+      if (AllMatches[R].size() > Limits.MatchLimit) {
+        // Explosive rule: skip it this iteration and ban it for a while,
+        // doubling the ban each time (exponential backoff).
+        BannedUntil[R] = Iter + BanLength[R];
+        BanLength[R] *= 2;
+        AllMatches[R].clear();
+      }
+    }
+
+    // Phase 2: apply everything, then restore invariants once.
+    for (size_t R = 0; R < Rules.size(); ++R)
+      for (const auto &[Root, S] : AllMatches[R])
+        if (Rules[R].apply(G, Root, S))
+          ++Stats.Applied;
+    G.rebuild();
+
+    Stats.Nodes = G.numNodes();
+    Stats.Classes = G.numClasses();
+    Report.Iterations.push_back(Stats);
+
+    bool Changed = Stats.Applied > 0 || Stats.Nodes != NodesBefore;
+    if (!Changed) {
+      Report.Stop = StopReason::Saturated;
+      Report.Seconds = elapsed();
+      return Report;
+    }
+    if (Stats.Nodes > Limits.NodeLimit) {
+      Report.Stop = StopReason::NodeLimit;
+      Report.Seconds = elapsed();
+      return Report;
+    }
+    if (elapsed() > Limits.TimeLimitSec) {
+      Report.Stop = StopReason::TimeLimit;
+      Report.Seconds = elapsed();
+      return Report;
+    }
+  }
+  Report.Stop = StopReason::IterLimit;
+  Report.Seconds = elapsed();
+  return Report;
+}

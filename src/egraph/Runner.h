@@ -1,0 +1,70 @@
+//===-- egraph/Runner.h - Equality saturation driver ------------*- C++ -*-===//
+//
+// Part of the ShrinkRay reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives equality saturation: repeatedly matches every rewrite against the
+/// e-graph and applies all matches, until the graph saturates (no rule can
+/// change it) or a fuel limit is hit (paper Fig. 5: the `fuel` argument
+/// bounding iterative search). A backoff scheduler keeps explosive rules
+/// (e.g. associativity) from starving the rest.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHRINKRAY_EGRAPH_RUNNER_H
+#define SHRINKRAY_EGRAPH_RUNNER_H
+
+#include "egraph/Rewrite.h"
+
+#include <vector>
+
+namespace shrinkray {
+
+/// Fuel limits for a saturation run.
+struct RunnerLimits {
+  size_t IterLimit = 128;       ///< max saturation iterations (fold
+                                ///< extension linearizes one element per
+                                ///< iteration, so chains need ~n of fuel)
+  size_t NodeLimit = 200000;    ///< stop when the graph exceeds this size
+  double TimeLimitSec = 60.0;   ///< wall-clock budget
+  size_t MatchLimit = 20000;    ///< per-rule matches/iteration before backoff
+  size_t BanLengthIters = 3;    ///< initial ban length when a rule overflows
+};
+
+/// Why a run stopped.
+enum class StopReason { Saturated, IterLimit, NodeLimit, TimeLimit };
+
+/// Per-iteration statistics.
+struct IterationStats {
+  size_t Applied = 0; ///< matches that changed the graph
+  size_t Matches = 0; ///< total matches found
+  size_t Nodes = 0;   ///< e-nodes after the iteration
+  size_t Classes = 0; ///< e-classes after the iteration
+};
+
+/// Result of a saturation run.
+struct RunnerReport {
+  StopReason Stop = StopReason::Saturated;
+  std::vector<IterationStats> Iterations;
+  double Seconds = 0.0;
+
+  size_t numIterations() const { return Iterations.size(); }
+};
+
+/// Equality-saturation driver with backoff scheduling.
+class Runner {
+public:
+  explicit Runner(RunnerLimits Limits = {}) : Limits(Limits) {}
+
+  /// Runs \p Rules on \p G to saturation or until fuel runs out.
+  RunnerReport run(EGraph &G, const std::vector<Rewrite> &Rules) const;
+
+private:
+  RunnerLimits Limits;
+};
+
+} // namespace shrinkray
+
+#endif // SHRINKRAY_EGRAPH_RUNNER_H

@@ -1,0 +1,65 @@
+//===-- egraph/UnionFind.h - Disjoint-set forest ----------------*- C++ -*-===//
+//
+// Part of the ShrinkRay reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The disjoint-set forest underlying e-class ids. Uses path halving on find;
+/// union order is decided by the caller (the e-graph keeps the class with
+/// more e-nodes as the root to minimize data movement).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHRINKRAY_EGRAPH_UNIONFIND_H
+#define SHRINKRAY_EGRAPH_UNIONFIND_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace shrinkray {
+
+/// E-class id. Ids are dense and never reused; non-canonical ids remain
+/// valid arguments to find() forever.
+using EClassId = uint32_t;
+
+/// Disjoint-set forest over EClassIds.
+class UnionFind {
+public:
+  /// Creates a fresh singleton set and returns its id.
+  EClassId makeSet() {
+    EClassId Id = static_cast<EClassId>(Parents.size());
+    Parents.push_back(Id);
+    return Id;
+  }
+
+  size_t size() const { return Parents.size(); }
+
+  /// Canonical representative of \p Id (with path halving).
+  EClassId find(EClassId Id) const {
+    assert(Id < Parents.size() && "id out of range");
+    while (Parents[Id] != Id) {
+      Parents[Id] = Parents[Parents[Id]];
+      Id = Parents[Id];
+    }
+    return Id;
+  }
+
+  /// Makes \p Root the representative of \p Child's set. Both must already
+  /// be canonical and distinct; the caller chooses orientation.
+  void unite(EClassId Root, EClassId Child) {
+    assert(find(Root) == Root && "Root not canonical");
+    assert(find(Child) == Child && "Child not canonical");
+    assert(Root != Child && "uniting a set with itself");
+    Parents[Child] = Root;
+  }
+
+private:
+  // mutable: find() compresses paths but is logically const.
+  mutable std::vector<EClassId> Parents;
+};
+
+} // namespace shrinkray
+
+#endif // SHRINKRAY_EGRAPH_UNIONFIND_H

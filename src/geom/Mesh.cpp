@@ -1,0 +1,273 @@
+//===-- geom/Mesh.cpp - Tessellation, STL output, Hausdorff ---------------===//
+
+#include "geom/Mesh.h"
+
+#include "support/Rng.h"
+
+#include <array>
+#include <cmath>
+#include <sstream>
+
+using namespace shrinkray;
+using namespace shrinkray::geom;
+
+void Mesh::addTriangle(Vec3 A, Vec3 B, Vec3 C) {
+  uint32_t Base = static_cast<uint32_t>(Vertices.size());
+  Vertices.push_back(A);
+  Vertices.push_back(B);
+  Vertices.push_back(C);
+  Triangles.push_back({Base, Base + 1, Base + 2});
+}
+
+void Mesh::append(const Mesh &Other) {
+  uint32_t Base = static_cast<uint32_t>(Vertices.size());
+  Vertices.insert(Vertices.end(), Other.Vertices.begin(),
+                  Other.Vertices.end());
+  for (const auto &T : Other.Triangles)
+    Triangles.push_back({T[0] + Base, T[1] + Base, T[2] + Base});
+  Approximate = Approximate || Other.Approximate;
+}
+
+//===----------------------------------------------------------------------===//
+// Primitive tessellation
+//===----------------------------------------------------------------------===//
+
+static Mesh meshCube() {
+  Mesh M;
+  // Six faces of [0,1]^3, two triangles each, outward CCW winding.
+  auto quad = [&](Vec3 A, Vec3 B, Vec3 C, Vec3 D) {
+    M.addTriangle(A, B, C);
+    M.addTriangle(A, C, D);
+  };
+  quad({0, 0, 0}, {0, 1, 0}, {1, 1, 0}, {1, 0, 0}); // bottom (z=0)
+  quad({0, 0, 1}, {1, 0, 1}, {1, 1, 1}, {0, 1, 1}); // top (z=1)
+  quad({0, 0, 0}, {1, 0, 0}, {1, 0, 1}, {0, 0, 1}); // y=0
+  quad({0, 1, 0}, {0, 1, 1}, {1, 1, 1}, {1, 1, 0}); // y=1
+  quad({0, 0, 0}, {0, 0, 1}, {0, 1, 1}, {0, 1, 0}); // x=0
+  quad({1, 0, 0}, {1, 1, 0}, {1, 1, 1}, {1, 0, 1}); // x=1
+  return M;
+}
+
+/// Tessellates a prism over a convex polygon cross-section at z in [0,1].
+static Mesh meshPrism(const std::vector<Vec3> &Polygon) {
+  Mesh M;
+  size_t N = Polygon.size();
+  Vec3 CenterLo{0, 0, 0}, CenterHi{0, 0, 1};
+  for (size_t I = 0; I < N; ++I) {
+    Vec3 A = Polygon[I];
+    Vec3 B = Polygon[(I + 1) % N];
+    Vec3 ATop = A + Vec3{0, 0, 1};
+    Vec3 BTop = B + Vec3{0, 0, 1};
+    // Side wall.
+    M.addTriangle(A, B, BTop);
+    M.addTriangle(A, BTop, ATop);
+    // Caps (fan around the center).
+    M.addTriangle(CenterLo, B, A);
+    M.addTriangle(CenterHi, ATop, BTop);
+  }
+  return M;
+}
+
+static Mesh meshCylinder(unsigned Segments) {
+  std::vector<Vec3> Polygon;
+  for (unsigned I = 0; I < Segments; ++I) {
+    double A = 2.0 * 3.14159265358979323846 * I / Segments;
+    Polygon.push_back({std::cos(A), std::sin(A), 0});
+  }
+  return meshPrism(Polygon);
+}
+
+static Mesh meshHexagon() {
+  std::vector<Vec3> Polygon;
+  for (unsigned I = 0; I < 6; ++I) {
+    double A = 2.0 * 3.14159265358979323846 * I / 6;
+    Polygon.push_back({std::cos(A), std::sin(A), 0});
+  }
+  return meshPrism(Polygon);
+}
+
+static Mesh meshSphere(unsigned Rings) {
+  Mesh M;
+  const double Pi = 3.14159265358979323846;
+  unsigned Slices = Rings * 2;
+  auto vertexAt = [&](unsigned Ring, unsigned Slice) -> Vec3 {
+    double Phi = Pi * Ring / Rings;        // 0..pi from +z pole
+    double Theta = 2.0 * Pi * Slice / Slices;
+    return {std::sin(Phi) * std::cos(Theta), std::sin(Phi) * std::sin(Theta),
+            std::cos(Phi)};
+  };
+  for (unsigned R = 0; R < Rings; ++R) {
+    for (unsigned S = 0; S < Slices; ++S) {
+      Vec3 A = vertexAt(R, S), B = vertexAt(R + 1, S),
+           C = vertexAt(R + 1, S + 1), D = vertexAt(R, S + 1);
+      if (R != 0)
+        M.addTriangle(A, B, C);
+      if (R + 1 != Rings)
+        M.addTriangle(A, C, D);
+    }
+  }
+  return M;
+}
+
+//===----------------------------------------------------------------------===//
+// CSG tessellation
+//===----------------------------------------------------------------------===//
+
+static void transformMesh(Mesh &M, const Mat3 &Linear, Vec3 Offset) {
+  for (Vec3 &V : M.Vertices)
+    V = Linear * V + Offset;
+}
+
+static Vec3 literalVec(const TermPtr &VecTerm) {
+  assert(VecTerm->kind() == OpKind::Vec3Ctor && "expected a Vec3 node");
+  return {VecTerm->child(0)->op().numericValue(),
+          VecTerm->child(1)->op().numericValue(),
+          VecTerm->child(2)->op().numericValue()};
+}
+
+Mesh geom::tessellate(const TermPtr &T, const TessellationOptions &Opts) {
+  switch (T->kind()) {
+  case OpKind::Empty:
+  case OpKind::External:
+    return {};
+  case OpKind::Unit:
+    return meshCube();
+  case OpKind::Cylinder:
+    return meshCylinder(Opts.CircleSegments);
+  case OpKind::Sphere:
+    return meshSphere(Opts.SphereRings);
+  case OpKind::Hexagon:
+    return meshHexagon();
+  case OpKind::Translate: {
+    Mesh M = tessellate(T->child(1), Opts);
+    transformMesh(M, Mat3::identity(), literalVec(T->child(0)));
+    return M;
+  }
+  case OpKind::Scale: {
+    Mesh M = tessellate(T->child(1), Opts);
+    transformMesh(M, Mat3::scale(literalVec(T->child(0))), {0, 0, 0});
+    return M;
+  }
+  case OpKind::Rotate: {
+    Mesh M = tessellate(T->child(1), Opts);
+    transformMesh(M, Mat3::rotXyz(literalVec(T->child(0))), {0, 0, 0});
+    return M;
+  }
+  case OpKind::Union: {
+    Mesh M = tessellate(T->child(0), Opts);
+    M.append(tessellate(T->child(1), Opts));
+    return M;
+  }
+  case OpKind::Diff: {
+    // Exact mesh booleans are out of scope (they belong to the upstream
+    // decompilers); render the positive part and mark the approximation.
+    Mesh M = tessellate(T->child(0), Opts);
+    M.Approximate = true;
+    return M;
+  }
+  case OpKind::Inter: {
+    Mesh M = tessellate(T->child(0), Opts);
+    M.append(tessellate(T->child(1), Opts));
+    M.Approximate = true;
+    return M;
+  }
+  default:
+    assert(false && "tessellate() requires flat CSG");
+    return {};
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// STL output
+//===----------------------------------------------------------------------===//
+
+std::string geom::writeStlAscii(const Mesh &M, const std::string &SolidName) {
+  std::ostringstream Os;
+  Os << "solid " << SolidName << "\n";
+  for (const auto &Tri : M.Triangles) {
+    Vec3 A = M.Vertices[Tri[0]], B = M.Vertices[Tri[1]],
+         C = M.Vertices[Tri[2]];
+    Vec3 U = B - A, V = C - A;
+    Vec3 N{U.Y * V.Z - U.Z * V.Y, U.Z * V.X - U.X * V.Z,
+           U.X * V.Y - U.Y * V.X};
+    double Len = N.norm();
+    if (Len > 1e-12)
+      N = (1.0 / Len) * N;
+    Os << "  facet normal " << N.X << ' ' << N.Y << ' ' << N.Z << "\n"
+       << "    outer loop\n";
+    for (Vec3 P : {A, B, C})
+      Os << "      vertex " << P.X << ' ' << P.Y << ' ' << P.Z << "\n";
+    Os << "    endloop\n  endfacet\n";
+  }
+  Os << "endsolid " << SolidName << "\n";
+  return Os.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Surface sampling and Hausdorff distance
+//===----------------------------------------------------------------------===//
+
+std::vector<Vec3> geom::sampleSurface(const Mesh &M, size_t Count,
+                                      uint64_t Seed) {
+  std::vector<Vec3> Out;
+  if (M.Triangles.empty() || Count == 0)
+    return Out;
+
+  // Cumulative triangle areas for area-weighted sampling.
+  std::vector<double> Cumulative;
+  Cumulative.reserve(M.Triangles.size());
+  double Total = 0.0;
+  for (const auto &Tri : M.Triangles) {
+    Vec3 A = M.Vertices[Tri[0]], B = M.Vertices[Tri[1]],
+         C = M.Vertices[Tri[2]];
+    Vec3 U = B - A, V = C - A;
+    Vec3 N{U.Y * V.Z - U.Z * V.Y, U.Z * V.X - U.X * V.Z,
+           U.X * V.Y - U.Y * V.X};
+    Total += 0.5 * N.norm();
+    Cumulative.push_back(Total);
+  }
+  if (Total <= 0.0)
+    return Out;
+
+  Rng R(Seed);
+  Out.reserve(Count);
+  for (size_t I = 0; I < Count; ++I) {
+    double Pick = R.nextDouble(0.0, Total);
+    size_t Lo = 0, Hi = Cumulative.size() - 1;
+    while (Lo < Hi) {
+      size_t Mid = (Lo + Hi) / 2;
+      if (Cumulative[Mid] < Pick)
+        Lo = Mid + 1;
+      else
+        Hi = Mid;
+    }
+    const auto &Tri = M.Triangles[Lo];
+    // Uniform barycentric sample.
+    double U = R.nextDouble(), V = R.nextDouble();
+    if (U + V > 1.0) {
+      U = 1.0 - U;
+      V = 1.0 - V;
+    }
+    Vec3 A = M.Vertices[Tri[0]], B = M.Vertices[Tri[1]],
+         C = M.Vertices[Tri[2]];
+    Out.push_back(A + U * (B - A) + V * (C - A));
+  }
+  return Out;
+}
+
+double geom::hausdorffDistance(const std::vector<Vec3> &A,
+                               const std::vector<Vec3> &B) {
+  assert(!A.empty() && !B.empty() && "Hausdorff of an empty cloud");
+  auto oneSided = [](const std::vector<Vec3> &From,
+                     const std::vector<Vec3> &To) {
+    double Worst = 0.0;
+    for (Vec3 P : From) {
+      double Best = std::numeric_limits<double>::infinity();
+      for (Vec3 Q : To)
+        Best = std::min(Best, P.distance(Q));
+      Worst = std::max(Worst, Best);
+    }
+    return Worst;
+  };
+  return std::max(oneSided(A, B), oneSided(B, A));
+}

@@ -1,0 +1,71 @@
+//===-- geom/Mesh.h - Tessellation, STL output, Hausdorff ------*- C++ -*-===//
+//
+// Part of the ShrinkRay reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Triangle-mesh substrate: tessellation of CSG primitives under affine
+/// transformations, ASCII STL output (the mesh format the paper's pipeline
+/// starts from, Figure 1), surface point sampling, and symmetric Hausdorff
+/// distance (the "more rigorous approach" to validation named in Sec. 7).
+///
+/// Boolean operations are not meshed exactly (that is the job of the mesh
+/// decompilers ShrinkRay sits downstream of); Union concatenates meshes,
+/// which renders correctly, while Diff/Inter fall back to the left operand
+/// / both operands respectively with a flag recorded in the result. Exact
+/// comparisons use geom::sampleEquivalent instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHRINKRAY_GEOM_MESH_H
+#define SHRINKRAY_GEOM_MESH_H
+
+#include "geom/Solid.h"
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace shrinkray {
+namespace geom {
+
+/// An indexed triangle soup.
+struct Mesh {
+  std::vector<Vec3> Vertices;
+  /// Vertex index triples, counter-clockwise when viewed from outside.
+  std::vector<std::array<uint32_t, 3>> Triangles;
+  /// True when a Diff/Inter was approximated during tessellation.
+  bool Approximate = false;
+
+  size_t numTriangles() const { return Triangles.size(); }
+
+  void addTriangle(Vec3 A, Vec3 B, Vec3 C);
+  void append(const Mesh &Other);
+};
+
+/// Tessellation fidelity.
+struct TessellationOptions {
+  unsigned CircleSegments = 32; ///< cylinder circumference segments
+  unsigned SphereRings = 16;    ///< latitude bands of the UV sphere
+};
+
+/// Tessellates flat CSG \p T into a triangle mesh.
+Mesh tessellate(const TermPtr &T, const TessellationOptions &Opts = {});
+
+/// Serializes \p M as an ASCII STL solid named \p SolidName.
+std::string writeStlAscii(const Mesh &M, const std::string &SolidName);
+
+/// Samples \p Count points approximately uniformly over the mesh surface
+/// (triangle-area weighted), deterministically from \p Seed.
+std::vector<Vec3> sampleSurface(const Mesh &M, size_t Count, uint64_t Seed);
+
+/// Symmetric Hausdorff distance between two point clouds (brute force; the
+/// clouds used by validation are a few thousand points).
+double hausdorffDistance(const std::vector<Vec3> &A,
+                         const std::vector<Vec3> &B);
+
+} // namespace geom
+} // namespace shrinkray
+
+#endif // SHRINKRAY_GEOM_MESH_H

@@ -1,0 +1,61 @@
+//===-- geom/Sample.cpp - Sampling-based equivalence oracle ---------------===//
+
+#include "geom/Sample.h"
+
+#include "support/Rng.h"
+
+using namespace shrinkray;
+using namespace shrinkray::geom;
+
+SampleReport geom::compareBySampling(const TermPtr &A, const TermPtr &B,
+                                     const SampleOptions &Opts) {
+  assert(isFlatCsg(A) && isFlatCsg(B) && "sampling oracle needs flat CSG");
+
+  Aabb Box = boundingBox(A);
+  Box.include(boundingBox(B));
+  SampleReport Report;
+  if (Box.IsEmpty) {
+    // Both solids are empty: trivially equivalent.
+    Report.Equivalent = true;
+    return Report;
+  }
+  Box = Box.inflated(Opts.BoxMargin);
+
+  Rng R(Opts.Seed);
+  Report.Points = Opts.NumPoints;
+  for (size_t I = 0; I < Opts.NumPoints; ++I) {
+    Vec3 P{R.nextDouble(Box.Lo.X, Box.Hi.X), R.nextDouble(Box.Lo.Y, Box.Hi.Y),
+           R.nextDouble(Box.Lo.Z, Box.Hi.Z)};
+    if (contains(A, P) != contains(B, P))
+      ++Report.Mismatches;
+  }
+  Report.Equivalent = Report.mismatchRatio() <= Opts.MismatchTolerance;
+  return Report;
+}
+
+bool geom::sampleEquivalent(const TermPtr &A, const TermPtr &B,
+                            const SampleOptions &Opts) {
+  return compareBySampling(A, B, Opts).Equivalent;
+}
+
+double geom::estimateVolume(const TermPtr &T, size_t NumPoints,
+                            uint64_t Seed) {
+  assert(isFlatCsg(T) && "volume estimate needs flat CSG");
+  Aabb Box = boundingBox(T);
+  if (Box.IsEmpty || NumPoints == 0)
+    return 0.0;
+  Vec3 Extent = Box.extent();
+  double BoxVolume = Extent.X * Extent.Y * Extent.Z;
+  if (BoxVolume <= 0.0)
+    return 0.0; // a degenerate (flat) box bounds a measure-zero solid
+  Rng R(Seed);
+  size_t Inside = 0;
+  for (size_t I = 0; I < NumPoints; ++I) {
+    Vec3 P{R.nextDouble(Box.Lo.X, Box.Hi.X),
+           R.nextDouble(Box.Lo.Y, Box.Hi.Y),
+           R.nextDouble(Box.Lo.Z, Box.Hi.Z)};
+    Inside += contains(T, P) ? 1 : 0;
+  }
+  return BoxVolume * static_cast<double>(Inside) /
+         static_cast<double>(NumPoints);
+}

@@ -1,0 +1,192 @@
+//===-- geom/Solid.cpp - Implicit solid semantics of CSG ------------------===//
+
+#include "geom/Solid.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace shrinkray;
+using namespace shrinkray::geom;
+
+void Aabb::include(Vec3 P) {
+  if (IsEmpty) {
+    Lo = Hi = P;
+    IsEmpty = false;
+    return;
+  }
+  Lo = {std::min(Lo.X, P.X), std::min(Lo.Y, P.Y), std::min(Lo.Z, P.Z)};
+  Hi = {std::max(Hi.X, P.X), std::max(Hi.Y, P.Y), std::max(Hi.Z, P.Z)};
+}
+
+void Aabb::include(const Aabb &Other) {
+  if (Other.IsEmpty)
+    return;
+  include(Other.Lo);
+  include(Other.Hi);
+}
+
+Aabb Aabb::inflated(double Margin) const {
+  if (IsEmpty)
+    return *this;
+  Aabb Out = *this;
+  Vec3 M{Margin, Margin, Margin};
+  Out.Lo = Lo - M;
+  Out.Hi = Hi + M;
+  return Out;
+}
+
+/// Reads the literal Vec3 argument of an affine node.
+static Vec3 literalVec(const TermPtr &VecTerm) {
+  assert(VecTerm->kind() == OpKind::Vec3Ctor && "expected a Vec3 node");
+  double C[3];
+  for (int I = 0; I < 3; ++I) {
+    const Op &O = VecTerm->child(I)->op();
+    assert((O.kind() == OpKind::Float || O.kind() == OpKind::Int) &&
+           "geometry evaluation requires literal vectors (flat CSG)");
+    C[I] = O.numericValue();
+  }
+  return {C[0], C[1], C[2]};
+}
+
+static bool containsPrimitive(OpKind K, Vec3 P) {
+  switch (K) {
+  case OpKind::Empty:
+    return false;
+  case OpKind::Unit:
+    return P.X >= 0 && P.X <= 1 && P.Y >= 0 && P.Y <= 1 && P.Z >= 0 &&
+           P.Z <= 1;
+  case OpKind::Cylinder:
+    return P.Z >= 0 && P.Z <= 1 && P.X * P.X + P.Y * P.Y <= 1.0;
+  case OpKind::Sphere:
+    return P.dot(P) <= 1.0;
+  case OpKind::Hexagon: {
+    if (P.Z < 0 || P.Z > 1)
+      return false;
+    // Circumradius-1 hexagon with a vertex at (1, 0): the intersection of
+    // three slabs whose normals point at 30, 90, and 150 degrees, each at
+    // apothem distance sqrt(3)/2 from the center.
+    const double Apothem = 0.8660254037844386;
+    return std::fabs(P.Y) <= Apothem &&
+           std::fabs(Apothem * P.X + 0.5 * P.Y) <= Apothem &&
+           std::fabs(Apothem * P.X - 0.5 * P.Y) <= Apothem;
+  }
+  default:
+    assert(false && "not a primitive");
+    return false;
+  }
+}
+
+bool geom::contains(const TermPtr &T, Vec3 P) {
+  switch (T->kind()) {
+  case OpKind::Empty:
+  case OpKind::Unit:
+  case OpKind::Cylinder:
+  case OpKind::Sphere:
+  case OpKind::Hexagon:
+    return containsPrimitive(T->kind(), P);
+  case OpKind::External:
+    return false; // opaque: geometric comparison treats it as empty
+  case OpKind::Translate:
+    return contains(T->child(1), P - literalVec(T->child(0)));
+  case OpKind::Scale: {
+    Vec3 S = literalVec(T->child(0));
+    if (S.X == 0.0 || S.Y == 0.0 || S.Z == 0.0)
+      return false; // degenerate scaling flattens the solid to measure zero
+    return contains(T->child(1), P / S);
+  }
+  case OpKind::Rotate: {
+    Vec3 Angles = literalVec(T->child(0));
+    // Inverse of Rz*Ry*Rx is its transpose (rotations are orthogonal).
+    Mat3 Inv = Mat3::rotXyz(Angles).transpose();
+    return contains(T->child(1), Inv * P);
+  }
+  case OpKind::Union:
+    return contains(T->child(0), P) || contains(T->child(1), P);
+  case OpKind::Diff:
+    return contains(T->child(0), P) && !contains(T->child(1), P);
+  case OpKind::Inter:
+    return contains(T->child(0), P) && contains(T->child(1), P);
+  default:
+    assert(false && "contains() requires flat CSG");
+    return false;
+  }
+}
+
+Aabb geom::boundingBox(const TermPtr &T) {
+  Aabb Out;
+  switch (T->kind()) {
+  case OpKind::Empty:
+  case OpKind::External:
+    return Out; // empty
+  case OpKind::Unit:
+    Out.include({0, 0, 0});
+    Out.include({1, 1, 1});
+    return Out;
+  case OpKind::Cylinder:
+  case OpKind::Hexagon:
+    Out.include({-1, -1, 0});
+    Out.include({1, 1, 1});
+    return Out;
+  case OpKind::Sphere:
+    Out.include({-1, -1, -1});
+    Out.include({1, 1, 1});
+    return Out;
+  case OpKind::Translate: {
+    Aabb Kid = boundingBox(T->child(1));
+    if (Kid.IsEmpty)
+      return Kid;
+    Vec3 V = literalVec(T->child(0));
+    Out.include(Kid.Lo + V);
+    Out.include(Kid.Hi + V);
+    return Out;
+  }
+  case OpKind::Scale: {
+    Aabb Kid = boundingBox(T->child(1));
+    if (Kid.IsEmpty)
+      return Kid;
+    Vec3 S = literalVec(T->child(0));
+    // Negative scales flip; include both transformed corners.
+    Out.include(Kid.Lo * S);
+    Out.include(Kid.Hi * S);
+    return Out;
+  }
+  case OpKind::Rotate: {
+    Aabb Kid = boundingBox(T->child(1));
+    if (Kid.IsEmpty)
+      return Kid;
+    Mat3 R = Mat3::rotXyz(literalVec(T->child(0)));
+    // Conservative: rotate all 8 corners of the child's box.
+    for (int Corner = 0; Corner < 8; ++Corner) {
+      Vec3 P{(Corner & 1) ? Kid.Hi.X : Kid.Lo.X,
+             (Corner & 2) ? Kid.Hi.Y : Kid.Lo.Y,
+             (Corner & 4) ? Kid.Hi.Z : Kid.Lo.Z};
+      Out.include(R * P);
+    }
+    return Out;
+  }
+  case OpKind::Union: {
+    Out = boundingBox(T->child(0));
+    Out.include(boundingBox(T->child(1)));
+    return Out;
+  }
+  case OpKind::Diff:
+    return boundingBox(T->child(0));
+  case OpKind::Inter: {
+    Aabb A = boundingBox(T->child(0));
+    Aabb B = boundingBox(T->child(1));
+    if (A.IsEmpty || B.IsEmpty)
+      return Aabb{};
+    Out.IsEmpty = false;
+    Out.Lo = {std::max(A.Lo.X, B.Lo.X), std::max(A.Lo.Y, B.Lo.Y),
+              std::max(A.Lo.Z, B.Lo.Z)};
+    Out.Hi = {std::min(A.Hi.X, B.Hi.X), std::min(A.Hi.Y, B.Hi.Y),
+              std::min(A.Hi.Z, B.Hi.Z)};
+    if (Out.Hi.X < Out.Lo.X || Out.Hi.Y < Out.Lo.Y || Out.Hi.Z < Out.Lo.Z)
+      return Aabb{};
+    return Out;
+  }
+  default:
+    assert(false && "boundingBox() requires flat CSG");
+    return Out;
+  }
+}

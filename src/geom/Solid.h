@@ -1,0 +1,64 @@
+//===-- geom/Solid.h - Implicit solid semantics of CSG ----------*- C++ -*-===//
+//
+// Part of the ShrinkRay reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The geometric semantics of flat CSG: point-membership testing through
+/// inverse affine transformations, plus conservative bounding boxes. This is
+/// the verification substrate (paper Sec. 7): a synthesized program is
+/// validated by flattening it and comparing its geometry with the input's.
+///
+/// Canonical primitives (paper Sec. 2: unit length, at the origin, principal
+/// axes aligned):
+///   Unit     — the cube [0,1]^3
+///   Cylinder — x^2 + y^2 <= 1, 0 <= z <= 1
+///   Sphere   — |p| <= 1
+///   Hexagon  — regular hexagonal prism, circumradius 1 with a vertex on +x,
+///              0 <= z <= 1
+///   External — treated as the empty solid (it is opaque by definition);
+///              comparisons of models with matching External structure are
+///              done structurally, not geometrically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHRINKRAY_GEOM_SOLID_H
+#define SHRINKRAY_GEOM_SOLID_H
+
+#include "cad/Term.h"
+#include "linalg/Vec3.h"
+
+#include <optional>
+
+namespace shrinkray {
+namespace geom {
+
+/// Axis-aligned bounding box.
+struct Aabb {
+  Vec3 Lo{0, 0, 0}, Hi{0, 0, 0};
+  bool IsEmpty = true;
+
+  /// Expands to include \p P.
+  void include(Vec3 P);
+  /// Expands to include all of \p Other.
+  void include(const Aabb &Other);
+  /// Grows every side by \p Margin.
+  Aabb inflated(double Margin) const;
+
+  Vec3 extent() const { return Hi - Lo; }
+};
+
+/// True iff point \p P lies inside the solid denoted by flat CSG \p T.
+/// \p T must satisfy isFlatCsg(). Points exactly on boundaries count as
+/// inside (closed solids); sampling avoids boundaries anyway.
+bool contains(const TermPtr &T, Vec3 P);
+
+/// Conservative bounding box of the solid (exact for axis-aligned models,
+/// conservative under rotation; Diff is bounded by its left operand).
+Aabb boundingBox(const TermPtr &T);
+
+} // namespace geom
+} // namespace shrinkray
+
+#endif // SHRINKRAY_GEOM_SOLID_H

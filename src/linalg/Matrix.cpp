@@ -1,0 +1,129 @@
+//===-- linalg/Matrix.cpp - Dense matrices and least squares --------------===//
+
+#include "linalg/Matrix.h"
+
+#include <cmath>
+
+using namespace shrinkray;
+
+std::optional<std::vector<double>>
+shrinkray::leastSquares(Matrix A, std::vector<double> B) {
+  const size_t M = A.rows(), N = A.cols();
+  assert(B.size() == M && "rhs size mismatch");
+  assert(M >= N && "least squares needs rows >= cols");
+
+  // Householder QR: reduce A to upper-triangular R in place while applying
+  // the same reflections to B.
+  for (size_t K = 0; K < N; ++K) {
+    // Norm of the k-th column below (and including) the diagonal.
+    double Norm = 0.0;
+    for (size_t I = K; I < M; ++I)
+      Norm += A.at(I, K) * A.at(I, K);
+    Norm = std::sqrt(Norm);
+    if (Norm < 1e-12)
+      return std::nullopt; // rank deficient
+
+    if (A.at(K, K) < 0.0)
+      Norm = -Norm;
+    // v = column + Norm * e_k, normalized so v[k] = 1 implicitly via beta.
+    std::vector<double> V(M - K);
+    for (size_t I = K; I < M; ++I)
+      V[I - K] = A.at(I, K);
+    V[0] += Norm;
+    double VNorm2 = 0.0;
+    for (double X : V)
+      VNorm2 += X * X;
+    if (VNorm2 < 1e-24)
+      return std::nullopt;
+    const double Beta = 2.0 / VNorm2;
+
+    // Apply H = I - beta v v^T to the remaining columns of A.
+    for (size_t J = K; J < N; ++J) {
+      double Dot = 0.0;
+      for (size_t I = K; I < M; ++I)
+        Dot += V[I - K] * A.at(I, J);
+      Dot *= Beta;
+      for (size_t I = K; I < M; ++I)
+        A.at(I, J) -= Dot * V[I - K];
+    }
+    // Apply H to B.
+    double Dot = 0.0;
+    for (size_t I = K; I < M; ++I)
+      Dot += V[I - K] * B[I];
+    Dot *= Beta;
+    for (size_t I = K; I < M; ++I)
+      B[I] -= Dot * V[I - K];
+  }
+
+  // Back substitution on the triangular factor.
+  std::vector<double> X(N, 0.0);
+  for (size_t KPlus1 = N; KPlus1 > 0; --KPlus1) {
+    const size_t K = KPlus1 - 1;
+    double Sum = B[K];
+    for (size_t J = K + 1; J < N; ++J)
+      Sum -= A.at(K, J) * X[J];
+    const double Diag = A.at(K, K);
+    if (std::fabs(Diag) < 1e-12)
+      return std::nullopt;
+    X[K] = Sum / Diag;
+  }
+  return X;
+}
+
+std::optional<std::vector<double>>
+shrinkray::solveLinear(Matrix A, std::vector<double> B) {
+  const size_t N = A.rows();
+  assert(A.cols() == N && "solveLinear needs a square matrix");
+  assert(B.size() == N && "rhs size mismatch");
+
+  for (size_t K = 0; K < N; ++K) {
+    // Partial pivoting.
+    size_t Pivot = K;
+    for (size_t I = K + 1; I < N; ++I)
+      if (std::fabs(A.at(I, K)) > std::fabs(A.at(Pivot, K)))
+        Pivot = I;
+    if (std::fabs(A.at(Pivot, K)) < 1e-12)
+      return std::nullopt;
+    if (Pivot != K) {
+      for (size_t J = 0; J < N; ++J)
+        std::swap(A.at(K, J), A.at(Pivot, J));
+      std::swap(B[K], B[Pivot]);
+    }
+    for (size_t I = K + 1; I < N; ++I) {
+      const double Factor = A.at(I, K) / A.at(K, K);
+      for (size_t J = K; J < N; ++J)
+        A.at(I, J) -= Factor * A.at(K, J);
+      B[I] -= Factor * B[K];
+    }
+  }
+
+  std::vector<double> X(N, 0.0);
+  for (size_t KPlus1 = N; KPlus1 > 0; --KPlus1) {
+    const size_t K = KPlus1 - 1;
+    double Sum = B[K];
+    for (size_t J = K + 1; J < N; ++J)
+      Sum -= A.at(K, J) * X[J];
+    X[K] = Sum / A.at(K, K);
+  }
+  return X;
+}
+
+double shrinkray::rSquared(const std::vector<double> &Ys,
+                           const std::vector<double> &Fit) {
+  assert(Ys.size() == Fit.size() && "size mismatch");
+  assert(!Ys.empty() && "rSquared of empty data");
+
+  double Mean = 0.0;
+  for (double Y : Ys)
+    Mean += Y;
+  Mean /= static_cast<double>(Ys.size());
+
+  double SsRes = 0.0, SsTot = 0.0;
+  for (size_t I = 0; I < Ys.size(); ++I) {
+    SsRes += (Ys[I] - Fit[I]) * (Ys[I] - Fit[I]);
+    SsTot += (Ys[I] - Mean) * (Ys[I] - Mean);
+  }
+  if (SsTot < 1e-18) // constant data: perfect iff residual ~0
+    return SsRes < 1e-18 ? 1.0 : 0.0;
+  return 1.0 - SsRes / SsTot;
+}

@@ -1,0 +1,69 @@
+//===-- linalg/Matrix.h - Dense matrices and least squares ------*- C++ -*-===//
+//
+// Part of the ShrinkRay reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small dense-matrix type plus Householder-QR least squares. This is the
+/// substrate behind the function solvers: polynomial fitting reduces to a
+/// linear least-squares problem in the coefficients, and the trigonometric
+/// solver solves a linear subproblem per candidate frequency (the paper used
+/// the OCaml Owl library for the same role).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHRINKRAY_LINALG_MATRIX_H
+#define SHRINKRAY_LINALG_MATRIX_H
+
+#include <cassert>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace shrinkray {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+public:
+  Matrix() = default;
+  Matrix(size_t Rows, size_t Cols, double Fill = 0.0)
+      : NumRows(Rows), NumCols(Cols), Data(Rows * Cols, Fill) {}
+
+  size_t rows() const { return NumRows; }
+  size_t cols() const { return NumCols; }
+
+  double &at(size_t R, size_t C) {
+    assert(R < NumRows && C < NumCols && "matrix index out of range");
+    return Data[R * NumCols + C];
+  }
+  double at(size_t R, size_t C) const {
+    assert(R < NumRows && C < NumCols && "matrix index out of range");
+    return Data[R * NumCols + C];
+  }
+
+private:
+  size_t NumRows = 0, NumCols = 0;
+  std::vector<double> Data;
+};
+
+/// Solves min ||A x - b||_2 via Householder QR with column checks.
+///
+/// \returns the solution vector of size A.cols(), or nullopt when A is
+/// (numerically) rank deficient. \p A must have rows() >= cols().
+std::optional<std::vector<double>> leastSquares(Matrix A,
+                                                std::vector<double> B);
+
+/// Solves the square system A x = b by Gaussian elimination with partial
+/// pivoting. \returns nullopt when A is singular.
+std::optional<std::vector<double>> solveLinear(Matrix A,
+                                               std::vector<double> B);
+
+/// Coefficient of determination R^2 for predictions \p Fit of data \p Ys.
+/// Degenerate case: when \p Ys is constant, returns 1.0 if the fit matches
+/// everywhere within 1e-9, else 0.0.
+double rSquared(const std::vector<double> &Ys, const std::vector<double> &Fit);
+
+} // namespace shrinkray
+
+#endif // SHRINKRAY_LINALG_MATRIX_H

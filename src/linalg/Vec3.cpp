@@ -1,0 +1,35 @@
+//===-- linalg/Vec3.cpp - 3-vectors and 3x3 matrices ----------------------===//
+
+#include "linalg/Vec3.h"
+
+using namespace shrinkray;
+
+Mat3 Mat3::rotX(double Degrees) {
+  double C = std::cos(degToRad(Degrees)), S = std::sin(degToRad(Degrees));
+  Mat3 R;
+  R.M[1][1] = C;
+  R.M[1][2] = -S;
+  R.M[2][1] = S;
+  R.M[2][2] = C;
+  return R;
+}
+
+Mat3 Mat3::rotY(double Degrees) {
+  double C = std::cos(degToRad(Degrees)), S = std::sin(degToRad(Degrees));
+  Mat3 R;
+  R.M[0][0] = C;
+  R.M[0][2] = S;
+  R.M[2][0] = -S;
+  R.M[2][2] = C;
+  return R;
+}
+
+Mat3 Mat3::rotZ(double Degrees) {
+  double C = std::cos(degToRad(Degrees)), S = std::sin(degToRad(Degrees));
+  Mat3 R;
+  R.M[0][0] = C;
+  R.M[0][1] = -S;
+  R.M[1][0] = S;
+  R.M[1][1] = C;
+  return R;
+}

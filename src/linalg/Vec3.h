@@ -1,0 +1,128 @@
+//===-- linalg/Vec3.h - 3-vectors and 3x3 matrices --------------*- C++ -*-===//
+//
+// Part of the ShrinkRay reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fixed-size 3D vector and 3x3 matrix types used by the geometric evaluator
+/// (affine transforms, rotation matrices) and by the affine-transformation
+/// rewrites, which were derived from the same matrix identities.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHRINKRAY_LINALG_VEC3_H
+#define SHRINKRAY_LINALG_VEC3_H
+
+#include <cassert>
+#include <cmath>
+
+namespace shrinkray {
+
+/// A 3D vector of doubles.
+struct Vec3 {
+  double X = 0.0, Y = 0.0, Z = 0.0;
+
+  Vec3() = default;
+  Vec3(double X, double Y, double Z) : X(X), Y(Y), Z(Z) {}
+
+  double operator[](int I) const {
+    assert(I >= 0 && I < 3 && "Vec3 index out of range");
+    return I == 0 ? X : (I == 1 ? Y : Z);
+  }
+
+  friend Vec3 operator+(Vec3 A, Vec3 B) {
+    return {A.X + B.X, A.Y + B.Y, A.Z + B.Z};
+  }
+  friend Vec3 operator-(Vec3 A, Vec3 B) {
+    return {A.X - B.X, A.Y - B.Y, A.Z - B.Z};
+  }
+  friend Vec3 operator*(double S, Vec3 V) {
+    return {S * V.X, S * V.Y, S * V.Z};
+  }
+  friend Vec3 operator*(Vec3 A, Vec3 B) { // component-wise
+    return {A.X * B.X, A.Y * B.Y, A.Z * B.Z};
+  }
+  friend bool operator==(Vec3 A, Vec3 B) {
+    return A.X == B.X && A.Y == B.Y && A.Z == B.Z;
+  }
+
+  /// Component-wise division; asserts no component of \p B is zero.
+  friend Vec3 operator/(Vec3 A, Vec3 B) {
+    assert(B.X != 0.0 && B.Y != 0.0 && B.Z != 0.0 && "divide by zero scale");
+    return {A.X / B.X, A.Y / B.Y, A.Z / B.Z};
+  }
+
+  double dot(Vec3 O) const { return X * O.X + Y * O.Y + Z * O.Z; }
+  double norm() const { return std::sqrt(dot(*this)); }
+  double distance(Vec3 O) const { return (*this - O).norm(); }
+
+  /// True if all components are within \p Eps of \p O's.
+  bool approxEquals(Vec3 O, double Eps) const {
+    return std::fabs(X - O.X) <= Eps && std::fabs(Y - O.Y) <= Eps &&
+           std::fabs(Z - O.Z) <= Eps;
+  }
+};
+
+/// A 3x3 matrix of doubles (row-major).
+struct Mat3 {
+  double M[3][3] = {{1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+
+  static Mat3 identity() { return Mat3(); }
+
+  /// Rotation about the X axis by \p Degrees.
+  static Mat3 rotX(double Degrees);
+  /// Rotation about the Y axis by \p Degrees.
+  static Mat3 rotY(double Degrees);
+  /// Rotation about the Z axis by \p Degrees.
+  static Mat3 rotZ(double Degrees);
+
+  /// The OpenSCAD `rotate([a,b,c])` convention: Rz(c) * Ry(b) * Rx(a).
+  static Mat3 rotXyz(Vec3 Degrees) {
+    return rotZ(Degrees.Z) * rotY(Degrees.Y) * rotX(Degrees.X);
+  }
+
+  /// Diagonal scaling matrix.
+  static Mat3 scale(Vec3 S) {
+    Mat3 R;
+    R.M[0][0] = S.X;
+    R.M[1][1] = S.Y;
+    R.M[2][2] = S.Z;
+    return R;
+  }
+
+  Mat3 transpose() const {
+    Mat3 R;
+    for (int I = 0; I < 3; ++I)
+      for (int J = 0; J < 3; ++J)
+        R.M[I][J] = M[J][I];
+    return R;
+  }
+
+  friend Mat3 operator*(const Mat3 &A, const Mat3 &B) {
+    Mat3 R;
+    for (int I = 0; I < 3; ++I)
+      for (int J = 0; J < 3; ++J) {
+        double S = 0.0;
+        for (int K = 0; K < 3; ++K)
+          S += A.M[I][K] * B.M[K][J];
+        R.M[I][J] = S;
+      }
+    return R;
+  }
+
+  friend Vec3 operator*(const Mat3 &A, Vec3 V) {
+    return {A.M[0][0] * V.X + A.M[0][1] * V.Y + A.M[0][2] * V.Z,
+            A.M[1][0] * V.X + A.M[1][1] * V.Y + A.M[1][2] * V.Z,
+            A.M[2][0] * V.X + A.M[2][1] * V.Y + A.M[2][2] * V.Z};
+  }
+};
+
+/// Degrees-to-radians conversion used throughout (CAD angles are degrees).
+inline double degToRad(double Degrees) {
+  return Degrees * 3.14159265358979323846 / 180.0;
+}
+
+} // namespace shrinkray
+
+#endif // SHRINKRAY_LINALG_VEC3_H

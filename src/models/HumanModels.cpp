@@ -1,0 +1,204 @@
+//===-- models/HumanModels.cpp - Human-written structured models ----------===//
+
+#include "models/HumanModels.h"
+
+using namespace shrinkray;
+using namespace shrinkray::models;
+
+namespace {
+
+/// Mapi (Fun (i, c) -> Translate(exprs, c), Repeat(Elem, N)) under a
+/// unioning Fold — the idiom a designer writes for a repeated feature.
+TermPtr mapiLoop(TermPtr BodyVec, TermPtr Elem, int64_t N) {
+  TermPtr Body = tTranslate(std::move(BodyVec), tVar("c"));
+  return tFold(tOpRef(OpKind::Union), tEmpty(),
+               tMapi(tFun({tVar("i"), tVar("c"), Body}),
+                     tRepeat(std::move(Elem), tInt(N))));
+}
+
+/// i-linear scalar expression a*i + b.
+TermPtr lin(double A, double B, const char *Var = "i") {
+  TermPtr Scaled = A == 1.0 ? tVar(Var) : tMul(tFloat(A), tVar(Var));
+  if (B == 0.0)
+    return Scaled;
+  return tAdd(std::move(Scaled), tFloat(B));
+}
+
+/// Doubly nested designer loop: Fold(Union, Empty, Fold(Fun i -> Fold(Fun
+/// j -> Translate((fx, fy, fz), Elem), Nil, 0..Q-1), Nil, 0..P-1)).
+TermPtr gridLoop(TermPtr Fx, TermPtr Fy, TermPtr Fz, TermPtr Elem,
+                 int64_t P, int64_t Q) {
+  TermPtr Body =
+      tTranslate(tVec3(std::move(Fx), std::move(Fy), std::move(Fz)),
+                 std::move(Elem));
+  TermPtr Inner = tFold(tFun({tVar("j"), std::move(Body)}), tNil(),
+                        tIndexList(Q));
+  TermPtr Outer =
+      tFold(tFun({tVar("i"), std::move(Inner)}), tNil(), tIndexList(P));
+  return tFold(tOpRef(OpKind::Union), tEmpty(), std::move(Outer));
+}
+
+TermPtr sizedBox(double W, double D, double H) {
+  return tScale(W, D, H, tUnit());
+}
+
+TermPtr sizedCyl(double R, double H) { return tScale(R, R, H, tCylinder()); }
+
+} // namespace
+
+std::vector<HumanModel> models::humanModels() {
+  std::vector<HumanModel> Out;
+
+  // 3244600:cnc-end-mill — for i, j in 4 x 4: socket at (8+14i, 8+14j).
+  {
+    TermPtr Base = sizedBox(58, 58, 22);
+    TermPtr Grid = gridLoop(lin(14, 8), lin(14, 8, "j"), tFloat(6),
+                            sizedCyl(4, 18), 4, 4);
+    TermPtr Label = tTranslate(4, 52, 18, sizedBox(50, 4, 5));
+    Out.push_back({"3244600:cnc-end-mill",
+                   tDiff(Base, tUnion(Grid, Label)), "n2,4,4"});
+  }
+
+  // 3432939:nintendo-slot — 11 rotated dividers at x = 10 + 9i.
+  {
+    TermPtr Shell = tDiff(sizedBox(120, 64, 40),
+                          tTranslate(3, 3, 3, sizedBox(114, 58, 40)));
+    TermPtr Divider = tRotate(0, 0, 12, sizedBox(2, 56, 34));
+    TermPtr Loop = mapiLoop(tVec3(lin(9, 10), tFloat(4), tFloat(3)),
+                            Divider, 11);
+    Out.push_back({"3432939:nintendo-slot", tUnion(Shell, Loop), "n1,11"});
+  }
+
+  // 3171605:card-org — 8 slots at x = 5 + 8i.
+  {
+    TermPtr Loop = mapiLoop(tVec3(lin(8, 5), tFloat(3), tFloat(4)),
+                            sizedBox(4, 34, 30), 8);
+    Out.push_back({"3171605:card-org", tDiff(sizedBox(70, 40, 30), Loop),
+                   "n1,8"});
+  }
+
+  // 3044766:sander — grip (External) + 6 teeth at x = 4 + 12i.
+  {
+    TermPtr Loop = mapiLoop(tVec3(lin(12, 4), tFloat(0), tFloat(0)),
+                            sizedBox(6, 8, 10), 6);
+    Out.push_back({"3044766:sander", tUnion(tExternal("hull_grip"), Loop),
+                   "n1,6"});
+  }
+
+  // 3097951:rasp-pie — 2 x 20 pin sockets at (3+5j, 2+5i).
+  {
+    TermPtr Grid = gridLoop(lin(5, 3, "j"), lin(5, 2, "i"), tFloat(2),
+                            sizedBox(3, 3, 8), 2, 20);
+    Out.push_back({"3097951:rasp-pie", tDiff(sizedBox(104, 12, 8), Grid),
+                   "n2,2,20"});
+  }
+
+  // 3148599:box-tray — 3 x 5 pockets at (5+25j, 5+26i).
+  {
+    TermPtr Grid = gridLoop(lin(25, 5, "j"), lin(26, 5, "i"), tFloat(3),
+                            sizedBox(21, 22, 20), 3, 5);
+    Out.push_back({"3148599:box-tray", tDiff(sizedBox(130, 80, 20), Grid),
+                   "n2,3,5"});
+  }
+
+  // 3331008:med-slide — 7 slots rotated around the tube.
+  {
+    TermPtr Tube = tDiff(sizedCyl(30, 60),
+                         tTranslate(0, 0, -1, sizedCyl(26, 62)));
+    TermPtr Slot = tTranslate(24, -5, 5, tScale(6, 10, 50, tUnit()));
+    TermPtr Body = tRotate(
+        tVec3(tFloat(0), tFloat(0),
+              tDiv(tMul(tFloat(360), tVar("i")), tFloat(7))),
+        tVar("c"));
+    TermPtr Loop = tFold(tOpRef(OpKind::Union), tEmpty(),
+                         tMapi(tFun({tVar("i"), tVar("c"), Body}),
+                               tRepeat(Slot, tInt(7))));
+    Out.push_back({"3331008:med-slide", tDiff(Tube, Loop), "n1,7"});
+  }
+
+  // 2921167:hc-bits — 2 x 2 hexagonal cells at (5+10i, 5+10j).
+  {
+    TermPtr Cell = tTranslate(
+        tVec3(lin(10, 5, "i"), lin(10, 5, "j"), tFloat(-0.5)),
+        tScale(4, 4, 4, tHexagon()));
+    TermPtr Inner =
+        tFold(tFun({tVar("j"), Cell}), tNil(), tIndexList(2));
+    TermPtr Outer =
+        tFold(tFun({tVar("i"), Inner}), tNil(), tIndexList(2));
+    TermPtr Grid = tFold(tOpRef(OpKind::Union), tEmpty(), Outer);
+    Out.push_back({"2921167:hc-bits",
+                   tDiff(tScale(20, 20, 3, tUnit()), Grid), "n2,2,2"});
+  }
+
+  // 3072857:tape-store — 10 slots at x = 6 + 15.5i.
+  {
+    TermPtr Loop = mapiLoop(tVec3(lin(15.5, 6), tFloat(5), tFloat(8)),
+                            sizedBox(11, 50, 40), 10);
+    Out.push_back({"3072857:tape-store",
+                   tDiff(sizedBox(160, 60, 40), Loop), "n1,10"});
+  }
+
+  // 1725308:soldering — arm (External) + 5 clips at x = 10 + 14i.
+  {
+    TermPtr Loop = mapiLoop(tVec3(lin(14, 10), tFloat(0), tFloat(0)),
+                            sizedCyl(4, 12), 5);
+    Out.push_back({"1725308:soldering",
+                   tUnion(tExternal("mirrored_arm"), Loop), "n1,5"});
+  }
+
+  // 3362402:gear — the Figure 4 program.
+  {
+    TermPtr Base = tDiff(
+        tUnion(tScale(80, 80, 100, tCylinder()),
+               tScale(120, 120, 50, tCylinder())),
+        tTranslate(0, 0, -1, tScale(25, 25, 102, tCylinder())));
+    TermPtr Body = tRotate(
+        tVec3(tFloat(0), tFloat(0),
+              tMul(tFloat(6), tAdd(tVar("i"), tInt(1)))),
+        tTranslate(125, 0, 0, tVar("c")));
+    TermPtr Ring = tFold(tOpRef(OpKind::Union), tEmpty(),
+                         tMapi(tFun({tVar("i"), tVar("c"), Body}),
+                               tRepeat(tScale(12, 6, 50, tUnit()),
+                                       tInt(60))));
+    Out.push_back({"3362402:gear", tUnion(Base, Ring), "n1,60"});
+  }
+
+  // 3452260:relay-box — 2 mounting holes at x = 8 + 24i.
+  {
+    TermPtr Shell = tDiff(sizedBox(40, 30, 20),
+                          tTranslate(2, 2, 2, sizedBox(36, 26, 20)));
+    TermPtr Loop = mapiLoop(tVec3(lin(24, 8), tFloat(15), tFloat(-1)),
+                            sizedCyl(2, 5), 2);
+    Out.push_back({"3452260:relay-box", tDiff(Shell, Loop), "n1,2"});
+  }
+
+  // 510849:wardrobe — shelves and rails at quadratic heights.
+  {
+    TermPtr Frame = tDiff(sizedBox(100, 50, 120),
+                          tTranslate(4, 4, 4, sizedBox(92, 42, 116)));
+    TermPtr ShelfZ = tAdd(
+        tAdd(tMul(tFloat(2.5), tMul(tVar("i"), tVar("i"))),
+             tMul(tFloat(12.5), tVar("i"))),
+        tFloat(10));
+    TermPtr ShelfBody = tTranslate(
+        tVec3(tFloat(4), tFloat(4), ShelfZ), tVar("c"));
+    TermPtr Shelves = tFold(tOpRef(OpKind::Union), tEmpty(),
+                            tMapi(tFun({tVar("i"), tVar("c"), ShelfBody}),
+                                  tRepeat(sizedBox(92, 42, 3), tInt(3))));
+    TermPtr RailZ = tAdd(
+        tAdd(tMul(tFloat(5), tMul(tVar("i"), tVar("i"))),
+             tMul(tFloat(10), tVar("i"))),
+        tFloat(60));
+    TermPtr RailBody = tTranslate(
+        tVec3(tFloat(4), tFloat(25), RailZ), tVar("c"));
+    TermPtr Rails = tFold(
+        tOpRef(OpKind::Union), tEmpty(),
+        tMapi(tFun({tVar("i"), tVar("c"), RailBody}),
+              tRepeat(tRotate(0, 90, 0, tScale(1.5, 1.5, 92, tCylinder())),
+                      tInt(3))));
+    Out.push_back({"510849:wardrobe",
+                   tUnion(Frame, tUnion(Shelves, Rails)), "n1,3; n1,3"});
+  }
+
+  return Out;
+}

@@ -1,0 +1,43 @@
+//===-- models/HumanModels.h - Human-written structured models -*- C++ -*-===//
+//
+// Part of the ShrinkRay reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Human-written LambdaCAD counterparts of the benchmark corpus (paper
+/// Sec. 6.2): for the Thingiverse models the authors had OpenSCAD sources
+/// with loops; flattening those sources produced the synthesizer inputs,
+/// and the paper compares ShrinkRay's output loops against the human ones.
+/// Here each structured model is written the way its designer would have —
+/// Mapi/Fold over the repeated feature — and flattens (via evalToFlatCsg)
+/// to exactly the corresponding models::allModels() entry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHRINKRAY_MODELS_HUMANMODELS_H
+#define SHRINKRAY_MODELS_HUMANMODELS_H
+
+#include "cad/Term.h"
+
+#include <string>
+#include <vector>
+
+namespace shrinkray {
+namespace models {
+
+/// A human-written structured model paired with its flat benchmark.
+struct HumanModel {
+  std::string Name;       ///< matches a models::allModels() entry
+  TermPtr Structured;     ///< LambdaCAD with explicit loops
+  std::string LoopShape;  ///< the loop the human wrote, e.g. "n1,8"
+};
+
+/// The human-written versions of every corpus model that has loops in its
+/// Thingiverse source (the paper's 70% "T" models plus the authors' own).
+std::vector<HumanModel> humanModels();
+
+} // namespace models
+} // namespace shrinkray
+
+#endif // SHRINKRAY_MODELS_HUMANMODELS_H

@@ -1,0 +1,366 @@
+//===-- models/Models.cpp - The Table 1 benchmark corpus ------------------===//
+
+#include "models/Models.h"
+
+#include "cad/Eval.h"
+#include "support/Rng.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace shrinkray;
+using namespace shrinkray::models;
+
+//===----------------------------------------------------------------------===//
+// Construction helpers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A box of the given dimensions at the given corner position. Boxes at
+/// the origin elide the no-op Translate (matching how a designer writes
+/// them, and how the human-written counterparts flatten).
+TermPtr box(double X, double Y, double Z, double W, double D, double H) {
+  TermPtr Sized = tScale(W, D, H, tUnit());
+  if (X == 0.0 && Y == 0.0 && Z == 0.0)
+    return Sized;
+  return tTranslate(X, Y, Z, Sized);
+}
+
+/// A z-axis cylinder with radius R and height H based at (X, Y, Z).
+TermPtr cyl(double X, double Y, double Z, double R, double H) {
+  TermPtr Sized = tScale(R, R, H, tCylinder());
+  if (X == 0.0 && Y == 0.0 && Z == 0.0)
+    return Sized;
+  return tTranslate(X, Y, Z, Sized);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Individual models
+//===----------------------------------------------------------------------===//
+
+TermPtr models::gearModel(int Teeth) {
+  assert(Teeth >= 3 && "a gear needs teeth");
+  // Figure 3: Diff(Diff(Union(body, rim-base), shaft-bore), teeth-ring).
+  TermPtr Body = tUnion(tScale(80, 80, 100, tCylinder()),
+                        tScale(120, 120, 50, tCylinder()));
+  TermPtr Base =
+      tDiff(Body, tTranslate(0, 0, -1, tScale(25, 25, 102, tCylinder())));
+
+  TermPtr Tooth = tScale(12, 6, 50, tUnit()); // the repeated tooth solid
+  std::vector<TermPtr> Ring;
+  double Step = 360.0 / Teeth;
+  for (int I = 1; I <= Teeth; ++I)
+    Ring.push_back(
+        tRotate(0, 0, Step * I, tTranslate(125, 0, 0, Tooth)));
+  // The teeth ring is a separate part union-ed with the base (the paper's
+  // flat CSG diffs the ring's negative; a union keeps the same repetitive
+  // structure while staying positive geometry).
+  return tUnion(Base, tUnionAll(Ring));
+}
+
+TermPtr models::noisyHexagonsModel() {
+  // Verbatim from Figure 16 (left).
+  return tUnion(
+      tTranslate(9.5, 1.5, 0.25,
+                 tScale(1.0, 0.866, 0.5, tRotate(0, 0, 0, tHexagon()))),
+      tUnion(tTranslate(6.0, 1.4999996667, 0.25,
+                        tScale(1.6, 1.386, 0.5,
+                               tRotate(0, 0, 0, tHexagon()))),
+             tTranslate(2.0, 1.4999994660, 0.25,
+                        tScale(2.0, 1.732, 0.5,
+                               tRotate(0, 0, 0, tHexagon())))));
+}
+
+TermPtr models::injectNoise(const TermPtr &Flat, double Magnitude,
+                            uint64_t Seed) {
+  Rng R(Seed);
+  std::function<TermPtr(const TermPtr &)> Rec =
+      [&](const TermPtr &T) -> TermPtr {
+    if (T->kind() == OpKind::Float)
+      return tFloat(T->op().floatValue() +
+                    R.nextDouble(-Magnitude, Magnitude));
+    std::vector<TermPtr> Kids;
+    Kids.reserve(T->numChildren());
+    for (const TermPtr &Kid : T->children())
+      Kids.push_back(Rec(Kid));
+    return makeTerm(T->op(), std::move(Kids));
+  };
+  return Rec(Flat);
+}
+
+namespace {
+
+/// 3244600:cnc-end-mill — a bit-holder block with a 4 x 4 grid of sockets.
+TermPtr cncEndMill() {
+  TermPtr Base = box(0, 0, 0, 58, 58, 22);
+  std::vector<TermPtr> Sockets;
+  for (int I = 0; I < 4; ++I)
+    for (int J = 0; J < 4; ++J)
+      Sockets.push_back(cyl(8.0 + 14.0 * I, 8.0 + 14.0 * J, 6.0, 4.0, 18.0));
+  TermPtr Label = box(4, 52, 18, 50, 4, 5); // engraving groove
+  return tDiff(Base, tUnion(tUnionAll(Sockets), Label));
+}
+
+/// 3432939:nintendo-slot — a storage unit with 11 slot dividers.
+TermPtr nintendoSlot() {
+  TermPtr Shell = tDiff(box(0, 0, 0, 120, 64, 40),
+                        box(3, 3, 3, 114, 58, 40));
+  std::vector<TermPtr> Dividers;
+  for (int I = 0; I < 11; ++I)
+    Dividers.push_back(tTranslate(
+        10.0 + 9.0 * I, 4.0, 3.0,
+        tRotate(0, 0, 12, tScale(2.0, 56.0, 34.0, tUnit()))));
+  return tUnion(Shell, tUnionAll(Dividers));
+}
+
+/// 3171605:card-org — a card organizer with 8 slots.
+TermPtr cardOrganizer() {
+  TermPtr Base = box(0, 0, 0, 70, 40, 30);
+  std::vector<TermPtr> Slots;
+  for (int I = 0; I < 8; ++I)
+    Slots.push_back(box(5.0 + 8.0 * I, 3.0, 4.0, 4.0, 34.0, 30.0));
+  return tDiff(Base, tUnionAll(Slots));
+}
+
+/// 3044766:sander — a sanding block: a Hull-built grip (External) plus 6
+/// clamp teeth (the paper replaced the Hull subexpression with External).
+TermPtr sander() {
+  std::vector<TermPtr> Teeth;
+  for (int I = 0; I < 6; ++I)
+    Teeth.push_back(box(4.0 + 12.0 * I, 0.0, 0.0, 6.0, 8.0, 10.0));
+  return tUnion(tExternal("hull_grip"), tUnionAll(Teeth));
+}
+
+/// 3097951:rasp-pie — a GPIO pin cover: 2 x 20 grid of pin sockets.
+TermPtr raspPie() {
+  TermPtr Base = box(0, 0, 0, 104, 12, 8);
+  std::vector<TermPtr> Pins;
+  for (int I = 0; I < 2; ++I)
+    for (int J = 0; J < 20; ++J)
+      Pins.push_back(
+          box(3.0 + 5.0 * J, 2.0 + 5.0 * I, 2.0, 3.0, 3.0, 8.0));
+  return tDiff(Base, tUnionAll(Pins));
+}
+
+/// 3148599:box-tray — a tray with 3 x 5 compartments.
+TermPtr boxTray() {
+  TermPtr Base = box(0, 0, 0, 130, 80, 20);
+  std::vector<TermPtr> Pockets;
+  for (int I = 0; I < 3; ++I)
+    for (int J = 0; J < 5; ++J)
+      Pockets.push_back(
+          box(5.0 + 25.0 * J, 5.0 + 26.0 * I, 3.0, 21.0, 22.0, 20.0));
+  return tDiff(Base, tUnionAll(Pockets));
+}
+
+/// 3331008:med-slide — a pill sorter: 7 slots around a tube-shaped base.
+TermPtr medSlide() {
+  TermPtr Tube = tDiff(cyl(0, 0, 0, 30, 60), cyl(0, 0, -1, 26, 62));
+  std::vector<TermPtr> SlotRing;
+  TermPtr Slot = tScale(6, 10, 50, tUnit());
+  for (int I = 0; I < 7; ++I)
+    SlotRing.push_back(tRotate(0, 0, 360.0 * I / 7.0,
+                               tTranslate(24, -5, 5, Slot)));
+  return tDiff(Tube, tUnionAll(SlotRing));
+}
+
+/// 2921167:hc-bits — the hex-cell bit holder (Figures 15/18/19): a plate
+/// with a 2 x 2 pattern of hexagonal sockets, equivalently describable by a
+/// trigonometric radius-7.07 layout around the center.
+TermPtr hcBits() {
+  TermPtr Plate = tScale(20, 20, 3, tUnit());
+  std::vector<TermPtr> Cells;
+  for (int I = 0; I < 2; ++I)
+    for (int J = 0; J < 2; ++J)
+      Cells.push_back(tTranslate(5.0 + 10.0 * I, 5.0 + 10.0 * J, -0.5,
+                                 tScale(4.0, 4.0, 4.0, tHexagon())));
+  return tDiff(Plate, tUnionAll(Cells));
+}
+
+/// 3094201:dice — a die: a cube with pip grids on its faces. The "6" face
+/// is the Figure 17 2 x 3 sphere grid; the "4" face a 2 x 2 grid; the "1"
+/// face a single pip.
+TermPtr dice() {
+  TermPtr Body = box(-10, -10, -10, 20, 20, 20);
+  TermPtr Pip = tScale(2, 2, 2, tSphere());
+  std::vector<TermPtr> Pips;
+  // "6" face at x = -10: 2 x 3 grid.
+  for (int I = 0; I < 2; ++I)
+    for (int J = 0; J < 3; ++J)
+      Pips.push_back(
+          tTranslate(-10, 4.0 - 8.0 * I, 5.0 - 5.0 * J, Pip));
+  // "4" face at x = +10: 2 x 2 grid.
+  for (int I = 0; I < 2; ++I)
+    for (int J = 0; J < 2; ++J)
+      Pips.push_back(
+          tTranslate(10, 4.0 - 8.0 * I, 4.0 - 8.0 * J, Pip));
+  // "1" face at z = +10.
+  Pips.push_back(tTranslate(0, 0, 10, Pip));
+  return tDiff(Body, tUnionAll(Pips));
+}
+
+/// 3072857:tape-store — a tape-spool organizer with 10 slots.
+TermPtr tapeStore() {
+  TermPtr Base = box(0, 0, 0, 160, 60, 40);
+  std::vector<TermPtr> Slots;
+  for (int I = 0; I < 10; ++I)
+    Slots.push_back(box(6.0 + 15.5 * I, 5.0, 8.0, 11.0, 50.0, 40.0));
+  return tDiff(Base, tUnionAll(Slots));
+}
+
+/// 1725308:soldering — a soldering-iron stand: a mirrored arm (External)
+/// plus 5 repeated wire clips.
+TermPtr soldering() {
+  std::vector<TermPtr> Clips;
+  for (int I = 0; I < 5; ++I)
+    Clips.push_back(cyl(10.0 + 14.0 * I, 0.0, 0.0, 4.0, 12.0));
+  return tUnion(tExternal("mirrored_arm"), tUnionAll(Clips));
+}
+
+/// 3452260:relay-box — a small relay enclosure with 2 mounting holes.
+TermPtr relayBox() {
+  TermPtr Shell = tDiff(box(0, 0, 0, 40, 30, 20), box(2, 2, 2, 36, 26, 20));
+  std::vector<TermPtr> Holes;
+  for (int I = 0; I < 2; ++I)
+    Holes.push_back(cyl(8.0 + 24.0 * I, 15.0, -1.0, 2.0, 5.0));
+  return tDiff(Shell, tUnionAll(Holes));
+}
+
+/// 64847:sd-rack — an SD-card rack whose 20 primitives are all distinct
+/// (no repetitive structure; the paper's output equals the input).
+TermPtr sdRack() {
+  std::vector<TermPtr> Parts;
+  double Xs[] = {0,  7,  15, 24, 34, 45, 57, 70,  84,  99,
+                 83, 68, 54, 41, 29, 18, 8,  -1., -9., -16.};
+  for (int I = 0; I < 20; ++I) {
+    double W = 3.0 + (I * 7) % 11;
+    double D = 4.0 + (I * 5) % 13;
+    double H = 6.0 + (I * 3) % 7;
+    TermPtr P = I % 3 == 0 ? cyl(Xs[I], 2.0 * I, 0.0, W / 2.0, H)
+                           : box(Xs[I], 1.7 * I, 0.0, W, D, H);
+    Parts.push_back(P);
+  }
+  return tUnionAll(Parts);
+}
+
+/// 3333935:compose — a one-off composition with no repetition.
+TermPtr compose() {
+  return tUnion(
+      tDiff(box(0, 0, 0, 30, 30, 6), cyl(15, 15, -1, 9, 8)),
+      tUnion(tTranslate(15, 15, 6, tScale(8, 8, 8, tSphere())),
+             tUnion(tRotate(0, 0, 30, box(-20, 0, 0, 14, 5, 3)),
+                    tUnion(cyl(35, 5, 0, 3, 14),
+                           tRotate(0, 45, 0,
+                                   box(5, -12, 2, 10, 6, 4))))));
+}
+
+/// 510849:wardrobe — a wardrobe organizer: 3 shelves and 3 rails at
+/// *quadratically* spaced heights (so only degree-2 forms explain them).
+TermPtr wardrobe() {
+  TermPtr Frame = tDiff(box(0, 0, 0, 100, 50, 120),
+                        box(4, 4, 4, 92, 42, 116));
+  std::vector<TermPtr> Shelves;
+  for (int I = 0; I < 3; ++I) {
+    double Z = 2.5 * I * I + 12.5 * I + 10.0; // 10, 25, 45
+    Shelves.push_back(box(4.0, 4.0, Z, 92.0, 42.0, 3.0));
+  }
+  std::vector<TermPtr> Rails;
+  for (int I = 0; I < 3; ++I) {
+    double Z = 5.0 * I * I + 10.0 * I + 60.0; // 60, 75, 100
+    Rails.push_back(tTranslate(4.0, 25.0, Z,
+                               tRotate(0, 90, 0, tScale(1.5, 1.5, 92,
+                                                        tCylinder()))));
+  }
+  return tUnion(Frame, tUnion(tUnionAll(Shelves), tUnionAll(Rails)));
+}
+
+BenchmarkModel make(std::string Name, char Prov, std::string Desc,
+                    TermPtr Flat, bool ExpectStructure, PaperRow Row) {
+  BenchmarkModel M;
+  M.Name = std::move(Name);
+  M.Provenance = Prov;
+  M.Description = std::move(Desc);
+  M.FlatCsg = std::move(Flat);
+  M.ExpectStructure = ExpectStructure;
+  M.Paper = std::move(Row);
+  assert(isFlatCsg(M.FlatCsg) && "benchmark model must be flat CSG");
+  return M;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// The corpus
+//===----------------------------------------------------------------------===//
+
+std::vector<BenchmarkModel> models::allModels() {
+  std::vector<BenchmarkModel> Out;
+  Out.push_back(make(
+      "3244600:cnc-end-mill", 'T', "CNC bit holder, 4x4 socket grid",
+      cncEndMill(), true,
+      {237, 64, 17, 3, 19, 10, "n2,4,4", "d1,d1", 17.29, 1}));
+  Out.push_back(make(
+      "3432939:nintendo-slot", 'T', "game-cartridge unit, 11 dividers",
+      nintendoSlot(), true,
+      {403, 73, 36, 7, 17, 9, "n1,11", "d1", 13.54, 2}));
+  Out.push_back(make("3171605:card-org", 'T', "card organizer, 8 slots",
+                     cardOrganizer(), true,
+                     {47, 15, 8, 2, 8, 5, "n1,8", "d1", 2.02, 1}));
+  Out.push_back(make("3044766:sander", 'T',
+                     "sanding block (Hull kept as External), 6 teeth",
+                     sander(), true,
+                     {35, 15, 6, 2, 6, 5, "n1,6", "d1", 1.15, 1}));
+  Out.push_back(make("3097951:rasp-pie", 'T',
+                     "Raspberry Pi pin cover, 2x20 grid", raspPie(), true,
+                     {405, 80, 41, 3, 42, 24, "n2,2,20", "d1,d1", 130.0, 1}));
+  Out.push_back(make("3148599:box-tray", 'T', "tray with 3x5 compartments",
+                     boxTray(), true,
+                     {155, 52, 16, 3, 17, 9, "n2,3,5", "d1,d1", 12.35, 1}));
+  Out.push_back(make("3331008:med-slide", 'T',
+                     "pill sorter, 7 slots on a tube", medSlide(), true,
+                     {207, 83, 20, 8, 14, 10, "n1,7", "d1", 2.56, 1}));
+  Out.push_back(make("2921167:hc-bits", 'I',
+                     "hex-cell bit holder (loop AND trig variants)",
+                     hcBits(), true,
+                     {45, 31, 5, 3, 6, 9, "n1,4; n2,2,2", "theta; d1,d1",
+                      2.97, 1}));
+  Out.push_back(make("3094201:dice", 'T', "die with pip grids", dice(),
+                     true, {219, 200, 22, 18, 23, 24, "n2,3,3", "d1,d1",
+                            102.63, 2}));
+  Out.push_back(make("3072857:tape-store", 'T', "tape organizer, 10 slots",
+                     tapeStore(), true,
+                     {241, 21, 11, 3, 15, 6, "n1,10", "d1", 7.81, 1}));
+  Out.push_back(make("1725308:soldering", 'I',
+                     "soldering stand (Mirror kept as External), 5 clips",
+                     soldering(), true,
+                     {31, 17, 6, 3, 6, 6, "n1,5", "d1", 0.77, 2}));
+  Out.push_back(make("3362402:gear", 'I', "60-tooth gear (Figure 1)",
+                     gearModel(60), true,
+                     {621, 43, 63, 5, 62, 6, "n1,60", "d1", 285.36, 2}));
+  Out.push_back(make("3452260:relay-box", 'T', "relay box, 2 holes",
+                     relayBox(), true,
+                     {39, 29, 4, 2, 6, 5, "n1,2", "d1", 0.36, 4}));
+  Out.push_back(make("64847:sd-rack", 'I',
+                     "SD rack, 20 distinct parts (no structure)", sdRack(),
+                     false, {195, 195, 20, 20, 21, 21, "-", "-", 40.25, 1}));
+  Out.push_back(make("3333935:compose", 'T',
+                     "one-off composition (no structure)", compose(), false,
+                     {55, 55, 6, 6, 6, 6, "-", "-", 1.86, 1}));
+  Out.push_back(make("510849:wardrobe", 'I',
+                     "wardrobe, quadratically spaced shelves/rails "
+                     "(needs reward-loops)",
+                     wardrobe(), false,
+                     {149, 145, 15, 15, 11, 11, "-", "-", 10.06, 1}));
+  return Out;
+}
+
+BenchmarkModel models::modelByName(const std::string &Name) {
+  for (BenchmarkModel &M : allModels())
+    if (M.Name == Name)
+      return M;
+  assert(false && "unknown benchmark model");
+  return {};
+}

@@ -1,0 +1,306 @@
+//===-- scad/ScadEmitter.cpp - LambdaCAD -> OpenSCAD backend --------------===//
+
+#include "scad/ScadEmitter.h"
+
+#include "cad/Sexp.h"
+
+#include <map>
+#include <sstream>
+
+using namespace shrinkray;
+using namespace shrinkray::scad;
+
+namespace {
+
+/// Substitutes Var(\p Name) := \p Replacement in \p T (used to fuse nested
+/// Mapi layers; the replacement itself may reference its own binders).
+TermPtr substituteVar(const TermPtr &T, Symbol Name,
+                      const TermPtr &Replacement) {
+  if (T->kind() == OpKind::Var && T->op().symbol() == Name)
+    return Replacement;
+  if (T->numChildren() == 0)
+    return T;
+  std::vector<TermPtr> Kids;
+  Kids.reserve(T->numChildren());
+  bool Changed = false;
+  for (const TermPtr &Kid : T->children()) {
+    TermPtr NewKid = substituteVar(Kid, Name, Replacement);
+    Changed |= NewKid.get() != Kid.get();
+    Kids.push_back(std::move(NewKid));
+  }
+  return Changed ? makeTerm(T->op(), std::move(Kids)) : T;
+}
+
+/// Emits LambdaCAD solids as OpenSCAD statements. Loop combinators become
+/// `for` loops; bodies reference loop variables symbolically.
+class Emitter {
+public:
+  std::optional<std::string> run(const TermPtr &Program) {
+    if (!emitSolid(Program, 0))
+      return std::nullopt;
+    return Os.str();
+  }
+
+private:
+  std::ostringstream Os;
+  bool Failed = false;
+
+  bool fail() {
+    Failed = true;
+    return false;
+  }
+
+  void indent(int Depth) {
+    for (int I = 0; I < Depth; ++I)
+      Os << "  ";
+  }
+
+  /// Emits a scalar expression (numbers, loop variables, arithmetic).
+  bool emitExpr(const TermPtr &T) {
+    switch (T->kind()) {
+    case OpKind::Int:
+      Os << T->op().intValue();
+      return true;
+    case OpKind::Float:
+      Os << formatFloat(T->op().floatValue());
+      return true;
+    case OpKind::Var:
+      Os << T->op().symbol().str();
+      return true;
+    case OpKind::Add:
+    case OpKind::Sub:
+    case OpKind::Mul:
+    case OpKind::Div: {
+      const char *Sym = T->kind() == OpKind::Add   ? " + "
+                        : T->kind() == OpKind::Sub ? " - "
+                        : T->kind() == OpKind::Mul ? " * "
+                                                   : " / ";
+      Os << '(';
+      if (!emitExpr(T->child(0)))
+        return false;
+      Os << Sym;
+      if (!emitExpr(T->child(1)))
+        return false;
+      Os << ')';
+      return true;
+    }
+    case OpKind::Sin:
+    case OpKind::Cos:
+      Os << (T->kind() == OpKind::Sin ? "sin(" : "cos(");
+      if (!emitExpr(T->child(0)))
+        return false;
+      Os << ')';
+      return true;
+    case OpKind::Arctan:
+      Os << "atan2(";
+      if (!emitExpr(T->child(0)))
+        return false;
+      Os << ", ";
+      if (!emitExpr(T->child(1)))
+        return false;
+      Os << ')';
+      return true;
+    default:
+      return fail();
+    }
+  }
+
+  bool emitVec(const TermPtr &T) {
+    if (T->kind() != OpKind::Vec3Ctor)
+      return fail();
+    Os << '[';
+    for (int I = 0; I < 3; ++I) {
+      if (I)
+        Os << ", ";
+      if (!emitExpr(T->child(I)))
+        return false;
+    }
+    Os << ']';
+    return true;
+  }
+
+  /// Emits the elements of a list term as statements (each a solid).
+  bool emitListElements(const TermPtr &T, int Depth,
+                        const std::map<Symbol, TermPtr> &Env) {
+    switch (T->kind()) {
+    case OpKind::Nil:
+      return true;
+    case OpKind::Cons:
+      if (!emitSolidEnv(T->child(0), Depth, Env))
+        return false;
+      return emitListElements(T->child(1), Depth, Env);
+    case OpKind::Concat:
+      return emitListElements(T->child(0), Depth, Env) &&
+             emitListElements(T->child(1), Depth, Env);
+    case OpKind::Mapi: {
+      // Mapi(Fun (i, c) -> body, inner): for (i = [0 : n-1]) body, with c
+      // bound to the inner list's repeated element.
+      const TermPtr &Fn = T->child(0);
+      if (Fn->kind() != OpKind::Fun || Fn->numChildren() != 3)
+        return fail();
+      Symbol IndexVar = Fn->child(0)->op().symbol();
+      Symbol ElemVar = Fn->child(1)->op().symbol();
+
+      // The inner list must bottom out in Repeat(base, n) (possibly through
+      // further Mapi layers, which compose transforms around the element).
+      const TermPtr &Inner = T->child(1);
+      if (Inner->kind() == OpKind::Repeat) {
+        if (Inner->child(1)->kind() != OpKind::Int)
+          return fail();
+        int64_t N = Inner->child(1)->op().intValue();
+        indent(Depth);
+        Os << "for (" << IndexVar.str() << " = [0 : " << (N - 1) << "])\n";
+        std::map<Symbol, TermPtr> BodyEnv = Env;
+        BodyEnv[ElemVar] = Inner->child(0);
+        return emitSolidEnv(Fn->child(2), Depth + 1, BodyEnv);
+      }
+      if (Inner->kind() == OpKind::Mapi) {
+        // Fuse nested Mapi layers: Mapi(f, Mapi(g, L)) == Mapi(f . g, L)
+        // when both functions use the same index (the synthesizer emits
+        // both as "i"). Build the composed body by *substituting* the
+        // outer element variable with the inner body — an environment
+        // binding would be shadowed when both layers name their element
+        // "c".
+        const TermPtr &InnerFn = Inner->child(0);
+        if (InnerFn->kind() != OpKind::Fun || InnerFn->numChildren() != 3)
+          return fail();
+        if (InnerFn->child(0)->op().symbol() != IndexVar)
+          return fail();
+        TermPtr FusedBody =
+            substituteVar(Fn->child(2), ElemVar, InnerFn->child(2));
+        TermPtr Rewrapped =
+            tMapi(tFun({Fn->child(0), InnerFn->child(1), FusedBody}),
+                  Inner->child(1));
+        return emitListElements(Rewrapped, Depth, Env);
+      }
+      return fail();
+    }
+    case OpKind::Fold:
+      // A counted Fold (for-loop) in list position: it emits statements,
+      // which is exactly what a list element expansion needs.
+      return emitSolidEnv(T, Depth, Env);
+    default:
+      return fail();
+    }
+  }
+
+  bool emitSolid(const TermPtr &T, int Depth) {
+    return emitSolidEnv(T, Depth, {});
+  }
+
+  bool emitSolidEnv(const TermPtr &T, int Depth,
+                    const std::map<Symbol, TermPtr> &Env) {
+    if (Failed)
+      return false;
+    switch (T->kind()) {
+    case OpKind::Empty:
+      indent(Depth);
+      Os << "// empty\n";
+      return true;
+    case OpKind::Unit:
+      indent(Depth);
+      Os << "cube(1);\n";
+      return true;
+    case OpKind::Cylinder:
+      indent(Depth);
+      Os << "cylinder(h = 1, r = 1);\n";
+      return true;
+    case OpKind::Sphere:
+      indent(Depth);
+      Os << "sphere(1);\n";
+      return true;
+    case OpKind::Hexagon:
+      indent(Depth);
+      Os << "cylinder(h = 1, r = 1, $fn = 6);\n";
+      return true;
+    case OpKind::External:
+      indent(Depth);
+      Os << T->op().symbol().str() << "();\n";
+      return true;
+    case OpKind::Var: {
+      auto It = Env.find(T->op().symbol());
+      if (It == Env.end())
+        return fail();
+      return emitSolidEnv(It->second, Depth, Env);
+    }
+    case OpKind::Translate:
+    case OpKind::Scale:
+    case OpKind::Rotate: {
+      indent(Depth);
+      Os << (T->kind() == OpKind::Translate ? "translate("
+             : T->kind() == OpKind::Scale   ? "scale("
+                                            : "rotate(");
+      if (!emitVec(T->child(0)))
+        return false;
+      Os << ")\n";
+      return emitSolidEnv(T->child(1), Depth + 1, Env);
+    }
+    case OpKind::Union:
+    case OpKind::Diff:
+    case OpKind::Inter: {
+      indent(Depth);
+      Os << (T->kind() == OpKind::Union  ? "union() {\n"
+             : T->kind() == OpKind::Diff ? "difference() {\n"
+                                         : "intersection() {\n");
+      if (!emitSolidEnv(T->child(0), Depth + 1, Env) ||
+          !emitSolidEnv(T->child(1), Depth + 1, Env))
+        return false;
+      indent(Depth);
+      Os << "}\n";
+      return true;
+    }
+    case OpKind::Fold: {
+      // Fold(Union, init, list): a union block over the list's statements.
+      if (T->child(0)->kind() == OpKind::OpRef &&
+          T->child(0)->op().referencedOp() == OpKind::Union) {
+        indent(Depth);
+        Os << "union() {\n";
+        if (T->child(1)->kind() != OpKind::Empty)
+          if (!emitSolidEnv(T->child(1), Depth + 1, Env))
+            return false;
+        if (!emitListElements(T->child(2), Depth + 1, Env))
+          return false;
+        indent(Depth);
+        Os << "}\n";
+        return true;
+      }
+      // Fold(Fun i -> body, Nil, indexList): a counted for-loop whose body
+      // is itself a list; valid directly under a unioning context, which is
+      // how the synthesizer nests them. Emit as a for over the spine.
+      if (T->child(0)->kind() == OpKind::Fun &&
+          T->child(0)->numChildren() == 2 &&
+          T->child(1)->kind() == OpKind::Nil) {
+        int64_t Len = 0;
+        const Term *Cur = T->child(2).get();
+        while (Cur->kind() == OpKind::Cons) {
+          ++Len;
+          Cur = Cur->child(1).get();
+        }
+        if (Cur->kind() != OpKind::Nil)
+          return fail();
+        Symbol IndexVar = T->child(0)->child(0)->op().symbol();
+        indent(Depth);
+        Os << "for (" << IndexVar.str() << " = [0 : " << (Len - 1)
+           << "])\n";
+        return emitSolidEnv(T->child(0)->child(1), Depth + 1, Env);
+      }
+      return fail();
+    }
+    case OpKind::Mapi:
+    case OpKind::Cons:
+    case OpKind::Concat:
+      // A bare list in solid position: emit its elements as statements
+      // (OpenSCAD implicitly unions sibling statements).
+      return emitListElements(T, Depth, Env);
+    default:
+      return fail();
+    }
+  }
+};
+
+} // namespace
+
+std::optional<std::string> scad::emitScad(const TermPtr &Program) {
+  Emitter E;
+  return E.run(Program);
+}

@@ -1,0 +1,35 @@
+//===-- scad/ScadEmitter.h - LambdaCAD -> OpenSCAD backend ------*- C++ -*-===//
+//
+// Part of the ShrinkRay reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emits LambdaCAD programs as OpenSCAD source (paper Sec. 6: "We provide a
+/// translation from LambdaCAD to OpenSCAD so that the results can be
+/// validated by rendering"). Loop structure survives the translation:
+/// `Fold(Union, Empty, Mapi(Fun (i, c) -> body, Repeat(base, n)))` becomes
+/// an OpenSCAD `for (i = [0 : n-1])` loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHRINKRAY_SCAD_SCADEMITTER_H
+#define SHRINKRAY_SCAD_SCADEMITTER_H
+
+#include "cad/Term.h"
+
+#include <optional>
+#include <string>
+
+namespace shrinkray {
+namespace scad {
+
+/// Emits \p Program as OpenSCAD source. Returns nullopt for programs using
+/// constructs with no OpenSCAD counterpart (first-class App of a computed
+/// function, raw list values at the top level); flatten first in that case.
+std::optional<std::string> emitScad(const TermPtr &Program);
+
+} // namespace scad
+} // namespace shrinkray
+
+#endif // SHRINKRAY_SCAD_SCADEMITTER_H

@@ -1,0 +1,48 @@
+//===-- support/Hashing.h - Hash combinators --------------------*- C++ -*-===//
+//
+// Part of the ShrinkRay reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small hash-combination helpers used by the hash-consing tables in the
+/// e-graph and by term structural hashing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHRINKRAY_SUPPORT_HASHING_H
+#define SHRINKRAY_SUPPORT_HASHING_H
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+
+namespace shrinkray {
+
+/// Mixes \p Value into \p Seed (boost::hash_combine-style, 64-bit constants).
+inline void hashCombine(size_t &Seed, size_t Value) {
+  Seed ^= Value + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2);
+}
+
+/// Hashes each argument and folds it into a single seed.
+template <typename... Ts> size_t hashAll(const Ts &...Values) {
+  size_t Seed = 0;
+  (hashCombine(Seed, std::hash<Ts>()(Values)), ...);
+  return Seed;
+}
+
+/// Bit-exact hash of a double. Canonicalizes -0.0 to +0.0 so that values that
+/// compare equal hash equal; NaN payloads are hashed as-is (NaNs never enter
+/// the e-graph, enforced by assertions at construction).
+inline size_t hashDouble(double D) {
+  if (D == 0.0)
+    D = 0.0; // fold -0.0 into +0.0
+  uint64_t Bits;
+  std::memcpy(&Bits, &D, sizeof(Bits));
+  return std::hash<uint64_t>()(Bits);
+}
+
+} // namespace shrinkray
+
+#endif // SHRINKRAY_SUPPORT_HASHING_H

@@ -1,0 +1,77 @@
+//===-- support/Rng.h - Deterministic random numbers ------------*- C++ -*-===//
+//
+// Part of the ShrinkRay reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, deterministic PRNG (xorshift128+) used by the sampling-based
+/// geometric equivalence oracle, the noise injector, and the property-test
+/// generators. We avoid std::mt19937 so that sampled sequences are identical
+/// across standard libraries, keeping test expectations portable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHRINKRAY_SUPPORT_RNG_H
+#define SHRINKRAY_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace shrinkray {
+
+/// Deterministic xorshift128+ generator.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) {
+    // splitmix64 seeding, as recommended by the xorshift authors.
+    State[0] = splitmix(Seed);
+    State[1] = splitmix(Seed);
+    if (State[0] == 0 && State[1] == 0)
+      State[0] = 1;
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    uint64_t X = State[0];
+    const uint64_t Y = State[1];
+    State[0] = Y;
+    X ^= X << 23;
+    State[1] = X ^ Y ^ (X >> 17) ^ (Y >> 26);
+    return State[1] + Y;
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    // 53 random mantissa bits.
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [Lo, Hi).
+  double nextDouble(double Lo, double Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + (Hi - Lo) * nextDouble();
+  }
+
+  /// Uniform integer in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "nextBelow(0)");
+    // Modulo bias is irrelevant for our use (Bound << 2^64).
+    return next() % Bound;
+  }
+
+private:
+  uint64_t State[2];
+
+  static uint64_t splitmix(uint64_t &X) {
+    X += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = X;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+};
+
+} // namespace shrinkray
+
+#endif // SHRINKRAY_SUPPORT_RNG_H

@@ -1,0 +1,44 @@
+//===-- support/Symbol.cpp - Interned identifier strings ------------------===//
+
+#include "support/Symbol.h"
+
+#include <deque>
+#include <unordered_map>
+
+using namespace shrinkray;
+
+namespace {
+
+/// Process-wide intern table. Wrapped in a function-local static so that no
+/// static constructor runs at load time.
+struct InternTable {
+  // deque gives pointer stability so string_views handed out never dangle.
+  std::deque<std::string> Spellings;
+  std::unordered_map<std::string_view, uint32_t> Ids;
+
+  InternTable() {
+    Spellings.emplace_back(""); // id 0 == empty symbol
+    Ids.emplace(Spellings.back(), 0);
+  }
+
+  uint32_t intern(std::string_view S) {
+    auto It = Ids.find(S);
+    if (It != Ids.end())
+      return It->second;
+    Spellings.emplace_back(S);
+    uint32_t Id = static_cast<uint32_t>(Spellings.size() - 1);
+    Ids.emplace(Spellings.back(), Id);
+    return Id;
+  }
+};
+
+} // namespace
+
+static InternTable &table() {
+  static InternTable Table;
+  return Table;
+}
+
+Symbol::Symbol(std::string_view Spelling) : Id(table().intern(Spelling)) {}
+
+std::string_view Symbol::str() const { return table().Spellings[Id]; }

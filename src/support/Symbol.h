@@ -1,0 +1,59 @@
+//===-- support/Symbol.h - Interned identifier strings ----------*- C++ -*-===//
+//
+// Part of the ShrinkRay reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interned, cheaply-copyable identifier strings. Symbols are used for
+/// variable names, pattern variables, operator references and `External`
+/// labels throughout the system. Two Symbols compare equal iff their spellings
+/// are identical, and comparison is a single integer compare.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHRINKRAY_SUPPORT_SYMBOL_H
+#define SHRINKRAY_SUPPORT_SYMBOL_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace shrinkray {
+
+/// An interned string. Default-constructed Symbols are the empty symbol.
+class Symbol {
+public:
+  Symbol() : Id(0) {}
+
+  /// Interns \p Spelling (allocating an id on first use).
+  explicit Symbol(std::string_view Spelling);
+
+  /// The spelling this symbol was interned from. Lives as long as the
+  /// process; never invalidated.
+  std::string_view str() const;
+
+  /// True for the default-constructed (empty) symbol.
+  bool empty() const { return Id == 0; }
+
+  uint32_t id() const { return Id; }
+
+  friend bool operator==(Symbol A, Symbol B) { return A.Id == B.Id; }
+  friend bool operator!=(Symbol A, Symbol B) { return A.Id != B.Id; }
+  /// Orders by interning id; stable within a process run, not alphabetical.
+  friend bool operator<(Symbol A, Symbol B) { return A.Id < B.Id; }
+
+private:
+  uint32_t Id;
+};
+
+} // namespace shrinkray
+
+template <> struct std::hash<shrinkray::Symbol> {
+  size_t operator()(shrinkray::Symbol S) const noexcept {
+    return std::hash<uint32_t>()(S.id());
+  }
+};
+
+#endif // SHRINKRAY_SUPPORT_SYMBOL_H

@@ -1,0 +1,74 @@
+//===-- synth/Cost.h - Cost functions for extraction ------------*- C++ -*-===//
+//
+// Part of the ShrinkRay reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two cost functions of the evaluation (paper Sec. 6.1 "Cost function
+/// robustness"): the default AST-size cost, and the `reward-loops` variant
+/// that assigns lower cost to looping constructs so that structure-exposing
+/// programs win even when they are not smaller (the 510849:wardrobe case).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHRINKRAY_SYNTH_COST_H
+#define SHRINKRAY_SYNTH_COST_H
+
+#include "egraph/Extract.h"
+
+namespace shrinkray {
+
+/// Which cost function to extract with.
+enum class CostKind {
+  AstSize,     ///< node count (paper default)
+  RewardLoops, ///< discounts Mapi/Fold/Repeat, penalizes raw list spines
+};
+
+/// The `reward-loops` cost: looping combinators are discounted and literal
+/// list spines penalized, so a Mapi-based program outranks an equivalent
+/// flat spine even when it has more AST nodes.
+class RewardLoopsCost : public CostFn {
+public:
+  double cost(const Op &O, const std::vector<double> &ChildCosts) const final {
+    double Weight = 1.0;
+    switch (O.kind()) {
+    case OpKind::Mapi:
+    case OpKind::Map:
+    case OpKind::Fold:
+    case OpKind::Repeat:
+    case OpKind::Fun:
+      Weight = 0.25;
+      break;
+    case OpKind::Cons:
+      // Mild: spines are worse than Repeat/Mapi, but the index lists
+      // inside nested Folds must stay affordable.
+      Weight = 1.5;
+      break;
+    case OpKind::Union:
+    case OpKind::Diff:
+    case OpKind::Inter:
+      // Raw boolean glue is exactly what loops replace; pricing it high is
+      // what lets a *larger* looping program win (the paper's wardrobe@).
+      Weight = 8.0;
+      break;
+    case OpKind::Float: // prefer integer spellings on ties
+      Weight = 1.0 + 1e-9;
+      break;
+    default:
+      break;
+    }
+    double Sum = Weight;
+    for (double C : ChildCosts)
+      Sum += C;
+    return Sum;
+  }
+};
+
+/// Returns a reference to a statically-allocated cost function of the given
+/// kind (cost functions are stateless).
+const CostFn &costFn(CostKind Kind);
+
+} // namespace shrinkray
+
+#endif // SHRINKRAY_SYNTH_COST_H

@@ -1,0 +1,64 @@
+//===-- synth/ListManip.cpp - List manipulation in Fold context -----------===//
+
+#include "synth/ListManip.h"
+
+#include <algorithm>
+#include <numeric>
+
+using namespace shrinkray;
+
+std::vector<size_t> shrinkray::sortedOrder(const ChainDecomposition &D) {
+  std::vector<size_t> Order(D.numElements());
+  std::iota(Order.begin(), Order.end(), 0);
+  auto key = [&](size_t I, size_t L, int C) { return D.Vectors[L][I][C]; };
+  std::stable_sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+    for (size_t L = 0; L < D.numLayers(); ++L)
+      for (int C = 0; C < 3; ++C) {
+        if (key(A, L, C) < key(B, L, C))
+          return true;
+        if (key(A, L, C) > key(B, L, C))
+          return false;
+      }
+    return false;
+  });
+  return Order;
+}
+
+std::optional<SortedList> shrinkray::sortFoldList(EGraph &G,
+                                                  EClassId FoldClass,
+                                                  const ChainDecomposition &D) {
+  std::vector<size_t> Order = sortedOrder(D);
+  bool Identity = true;
+  for (size_t I = 0; I < Order.size(); ++I)
+    Identity &= Order[I] == I;
+  if (Identity)
+    return std::nullopt;
+
+  // Build the sorted Cons spine over the existing element classes.
+  EClassId Spine = G.add(ENode(Op(OpKind::Nil), {}));
+  for (size_t I = Order.size(); I > 0; --I) {
+    EClassId Elem = D.Elements[Order[I - 1]];
+    Spine = G.add(ENode(Op(OpKind::Cons), {Elem, Spine}));
+  }
+
+  // Fold(Union, Empty, sorted) == Fold(Union, Empty, original): merge into
+  // the fold's class (paper Fig. 11 — the new Fold e-node goes to the
+  // e-class of the original Fold).
+  EClassId UnionRef = G.add(ENode(Op::makeOpRef(OpKind::Union), {}));
+  EClassId Empty = G.add(ENode(Op(OpKind::Empty), {}));
+  EClassId NewFold =
+      G.add(ENode(Op(OpKind::Fold), {UnionRef, Empty, Spine}));
+  G.merge(FoldClass, NewFold);
+
+  SortedList Out;
+  Out.ListClass = Spine;
+  Out.Decomposition.LayerKinds = D.LayerKinds;
+  Out.Decomposition.Base = D.Base;
+  Out.Decomposition.Vectors.assign(D.numLayers(), {});
+  for (size_t L = 0; L < D.numLayers(); ++L)
+    for (size_t I : Order)
+      Out.Decomposition.Vectors[L].push_back(D.Vectors[L][I]);
+  for (size_t I : Order)
+    Out.Decomposition.Elements.push_back(D.Elements[I]);
+  return Out;
+}

@@ -1,0 +1,47 @@
+//===-- synth/ListManip.h - List manipulation in Fold context ---*- C++ -*-===//
+//
+// Part of the ShrinkRay reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// List manipulation (paper Sec. 4.3, Figures 11/12): reorders the elements
+/// of a fold list to help the function solvers. Sorting is applied only in
+/// the context of a Fold over Union — element order is then semantically
+/// irrelevant (union is associative/commutative), so the new Fold over the
+/// sorted list is merged into the *Fold's* e-class, never the list's.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHRINKRAY_SYNTH_LISTMANIP_H
+#define SHRINKRAY_SYNTH_LISTMANIP_H
+
+#include "synth/Determinize.h"
+
+#include <optional>
+
+namespace shrinkray {
+
+/// Result of a sort: the new list class and the permuted decomposition.
+struct SortedList {
+  EClassId ListClass = 0;
+  ChainDecomposition Decomposition;
+};
+
+/// Returns the permutation that sorts \p D's elements lexicographically by
+/// their layer vectors (outermost layer first, then deeper layers; within a
+/// vector by x, y, z). Identity permutation means already sorted.
+std::vector<size_t> sortedOrder(const ChainDecomposition &D);
+
+/// Applies sortedOrder to \p D: builds the sorted Cons spine in the graph,
+/// wraps it in `Fold(Union, Empty, sorted)` and merges that fold with
+/// \p FoldClass. Returns the sorted list's class and decomposition, or
+/// nullopt when the list was already sorted (no change made).
+///
+/// The caller must rebuild() before further matching.
+std::optional<SortedList> sortFoldList(EGraph &G, EClassId FoldClass,
+                                       const ChainDecomposition &D);
+
+} // namespace shrinkray
+
+#endif // SHRINKRAY_SYNTH_LISTMANIP_H

@@ -1,0 +1,241 @@
+//===-- tests/geom_test.cpp - Geometric semantics tests -------------------===//
+
+#include "geom/Mesh.h"
+#include "geom/Sample.h"
+#include "geom/Solid.h"
+
+#include <gtest/gtest.h>
+
+using namespace shrinkray;
+using namespace shrinkray::geom;
+
+TEST(SolidTest, UnitCubeMembership) {
+  TermPtr T = tUnit();
+  EXPECT_TRUE(contains(T, {0.5, 0.5, 0.5}));
+  EXPECT_TRUE(contains(T, {0, 0, 0}));
+  EXPECT_FALSE(contains(T, {1.5, 0.5, 0.5}));
+  EXPECT_FALSE(contains(T, {-0.1, 0.5, 0.5}));
+}
+
+TEST(SolidTest, CylinderMembership) {
+  TermPtr T = tCylinder();
+  EXPECT_TRUE(contains(T, {0, 0, 0.5}));
+  EXPECT_TRUE(contains(T, {0.9, 0, 0.1}));
+  EXPECT_FALSE(contains(T, {0.9, 0.9, 0.5})); // outside radius
+  EXPECT_FALSE(contains(T, {0, 0, 1.5}));     // above cap
+  EXPECT_FALSE(contains(T, {0, 0, -0.1}));    // below base
+}
+
+TEST(SolidTest, SphereMembership) {
+  TermPtr T = tSphere();
+  EXPECT_TRUE(contains(T, {0, 0, 0}));
+  EXPECT_TRUE(contains(T, {0.5, 0.5, 0.5}));
+  EXPECT_FALSE(contains(T, {0.8, 0.8, 0.0}));
+}
+
+TEST(SolidTest, HexagonMembership) {
+  TermPtr T = tHexagon();
+  EXPECT_TRUE(contains(T, {0, 0, 0.5}));
+  EXPECT_TRUE(contains(T, {0.99, 0, 0.5}));   // near the +x vertex
+  EXPECT_FALSE(contains(T, {0, 0.9, 0.5}));   // beyond the apothem
+  EXPECT_TRUE(contains(T, {0, 0.86, 0.5}));   // just inside the apothem
+  EXPECT_FALSE(contains(T, {0.9, 0.5, 0.5})); // outside the slanted edge
+  EXPECT_FALSE(contains(T, {0, 0, 1.1}));
+}
+
+TEST(SolidTest, EmptyContainsNothing) {
+  EXPECT_FALSE(contains(tEmpty(), {0, 0, 0}));
+}
+
+TEST(SolidTest, TranslateShiftsMembership) {
+  TermPtr T = tTranslate(10, 0, 0, tUnit());
+  EXPECT_TRUE(contains(T, {10.5, 0.5, 0.5}));
+  EXPECT_FALSE(contains(T, {0.5, 0.5, 0.5}));
+}
+
+TEST(SolidTest, ScaleStretchesMembership) {
+  TermPtr T = tScale(80, 80, 100, tCylinder());
+  EXPECT_TRUE(contains(T, {79, 0, 50}));
+  EXPECT_FALSE(contains(T, {81, 0, 50}));
+  EXPECT_FALSE(contains(T, {0, 0, 101}));
+}
+
+TEST(SolidTest, ZeroScaleIsDegenerate) {
+  TermPtr T = tScale(0, 1, 1, tUnit());
+  EXPECT_FALSE(contains(T, {0, 0.5, 0.5}));
+}
+
+TEST(SolidTest, RotateMatchesOpenScadConvention) {
+  // Rotating the unit cube 90 degrees about z maps [0,1]^2 to
+  // [-1,0] x [0,1] in the xy plane.
+  TermPtr T = tRotate(0, 0, 90, tUnit());
+  EXPECT_TRUE(contains(T, {-0.5, 0.5, 0.5}));
+  EXPECT_FALSE(contains(T, {0.5, 0.5, 0.5}));
+}
+
+TEST(SolidTest, BooleanSemantics) {
+  TermPtr A = tUnit();
+  TermPtr B = tTranslate(0.5, 0, 0, tUnit());
+  Vec3 OnlyA{0.25, 0.5, 0.5}, Both{0.75, 0.5, 0.5}, OnlyB{1.25, 0.5, 0.5};
+  EXPECT_TRUE(contains(tUnion(A, B), OnlyA));
+  EXPECT_TRUE(contains(tUnion(A, B), OnlyB));
+  EXPECT_TRUE(contains(tInter(A, B), Both));
+  EXPECT_FALSE(contains(tInter(A, B), OnlyA));
+  EXPECT_TRUE(contains(tDiff(A, B), OnlyA));
+  EXPECT_FALSE(contains(tDiff(A, B), Both));
+}
+
+TEST(SolidTest, BoundingBoxSimple) {
+  Aabb Box = boundingBox(tTranslate(5, 5, 5, tUnit()));
+  EXPECT_NEAR(Box.Lo.X, 5.0, 1e-12);
+  EXPECT_NEAR(Box.Hi.Z, 6.0, 1e-12);
+}
+
+TEST(SolidTest, BoundingBoxOfUnionCoversBoth) {
+  Aabb Box = boundingBox(tUnion(tUnit(), tTranslate(10, 0, 0, tUnit())));
+  EXPECT_NEAR(Box.Lo.X, 0.0, 1e-12);
+  EXPECT_NEAR(Box.Hi.X, 11.0, 1e-12);
+}
+
+TEST(SolidTest, BoundingBoxNegativeScaleFlips) {
+  Aabb Box = boundingBox(tScale(-2, 1, 1, tUnit()));
+  EXPECT_NEAR(Box.Lo.X, -2.0, 1e-12);
+  EXPECT_NEAR(Box.Hi.X, 0.0, 1e-12);
+}
+
+TEST(SolidTest, BoundingBoxRotationIsConservative) {
+  TermPtr T = tRotate(0, 0, 45, tUnit());
+  Aabb Box = boundingBox(T);
+  // Must cover the rotated cube.
+  EXPECT_LE(Box.Lo.X, -0.70);
+  EXPECT_GE(Box.Hi.Y, 1.41);
+}
+
+TEST(SampleTest, IdenticalModelsAreEquivalent) {
+  TermPtr T = tUnion(tScale(2, 2, 1, tCylinder()),
+                     tTranslate(0, 0, 1, tSphere()));
+  SampleReport R = compareBySampling(T, T);
+  EXPECT_TRUE(R.Equivalent);
+  EXPECT_EQ(R.Mismatches, 0u);
+}
+
+TEST(SampleTest, CommutedUnionIsEquivalent) {
+  TermPtr A = tUnion(tUnit(), tTranslate(3, 0, 0, tSphere()));
+  TermPtr B = tUnion(tTranslate(3, 0, 0, tSphere()), tUnit());
+  EXPECT_TRUE(sampleEquivalent(A, B));
+}
+
+TEST(SampleTest, DetectsMissingPart) {
+  TermPtr A = tUnion(tUnit(), tTranslate(5, 0, 0, tUnit()));
+  TermPtr B = tUnit();
+  SampleReport R = compareBySampling(A, B);
+  EXPECT_FALSE(R.Equivalent);
+  EXPECT_GT(R.Mismatches, 100u);
+}
+
+TEST(SampleTest, DetectsSmallOffset) {
+  TermPtr A = tUnit();
+  TermPtr B = tTranslate(0.2, 0, 0, tUnit());
+  EXPECT_FALSE(sampleEquivalent(A, B));
+}
+
+TEST(SampleTest, ToleranceAdmitsNoise) {
+  TermPtr A = tScale(10, 10, 10, tUnit());
+  TermPtr B = tScale(10.001, 10, 10, tUnit());
+  SampleOptions Strict;
+  SampleOptions Loose;
+  Loose.MismatchTolerance = 0.01;
+  EXPECT_TRUE(sampleEquivalent(A, B, Loose));
+  // With zero tolerance the 0.001 sliver may or may not be hit; only check
+  // the loose direction (the strict comparison is allowed to pass).
+  SampleReport R = compareBySampling(A, B, Strict);
+  EXPECT_LE(R.mismatchRatio(), 0.001);
+}
+
+TEST(SampleTest, BothEmptyAreEquivalent) {
+  EXPECT_TRUE(sampleEquivalent(tEmpty(), tDiff(tUnit(), tUnit())));
+}
+
+TEST(MeshTest, CubeHasTwelveTriangles) {
+  Mesh M = tessellate(tUnit());
+  EXPECT_EQ(M.numTriangles(), 12u);
+  EXPECT_FALSE(M.Approximate);
+}
+
+TEST(MeshTest, CylinderTriangleCountMatchesSegments) {
+  TessellationOptions Opts;
+  Opts.CircleSegments = 16;
+  Mesh M = tessellate(tCylinder(), Opts);
+  // Per segment: 2 wall + 2 cap triangles.
+  EXPECT_EQ(M.numTriangles(), 16u * 4);
+}
+
+TEST(MeshTest, UnionConcatenates) {
+  Mesh M = tessellate(tUnion(tUnit(), tTranslate(2, 0, 0, tUnit())));
+  EXPECT_EQ(M.numTriangles(), 24u);
+  EXPECT_FALSE(M.Approximate);
+}
+
+TEST(MeshTest, DiffIsMarkedApproximate) {
+  Mesh M = tessellate(tDiff(tUnit(), tSphere()));
+  EXPECT_TRUE(M.Approximate);
+}
+
+TEST(MeshTest, TransformsMoveVertices) {
+  Mesh M = tessellate(tTranslate(10, 20, 30, tUnit()));
+  for (const Vec3 &V : M.Vertices) {
+    EXPECT_GE(V.X, 10.0 - 1e-9);
+    EXPECT_LE(V.X, 11.0 + 1e-9);
+    EXPECT_GE(V.Z, 30.0 - 1e-9);
+  }
+}
+
+TEST(MeshTest, StlOutputWellFormed) {
+  std::string Stl = writeStlAscii(tessellate(tUnit()), "unit_cube");
+  EXPECT_EQ(Stl.find("solid unit_cube"), 0u);
+  EXPECT_NE(Stl.find("facet normal"), std::string::npos);
+  EXPECT_NE(Stl.find("endsolid unit_cube"), std::string::npos);
+  // 12 facets for a cube.
+  size_t Count = 0, Pos = 0;
+  while ((Pos = Stl.find("endfacet", Pos)) != std::string::npos) {
+    ++Count;
+    Pos += 8;
+  }
+  EXPECT_EQ(Count, 12u);
+}
+
+TEST(MeshTest, SurfaceSamplesLieOnCube) {
+  Mesh M = tessellate(tUnit());
+  std::vector<Vec3> Points = sampleSurface(M, 500, 123);
+  ASSERT_EQ(Points.size(), 500u);
+  for (const Vec3 &P : Points) {
+    // On the surface, at least one coordinate is 0 or 1.
+    bool OnFace = false;
+    for (double C : {P.X, P.Y, P.Z})
+      OnFace |= std::fabs(C) < 1e-9 || std::fabs(C - 1.0) < 1e-9;
+    EXPECT_TRUE(OnFace);
+  }
+}
+
+TEST(MeshTest, HausdorffOfIdenticalCloudsIsZero) {
+  Mesh M = tessellate(tUnit());
+  std::vector<Vec3> A = sampleSurface(M, 200, 1);
+  EXPECT_DOUBLE_EQ(hausdorffDistance(A, A), 0.0);
+}
+
+TEST(MeshTest, HausdorffSeesTranslation) {
+  Mesh M1 = tessellate(tUnit());
+  Mesh M2 = tessellate(tTranslate(5, 0, 0, tUnit()));
+  std::vector<Vec3> A = sampleSurface(M1, 300, 1);
+  std::vector<Vec3> B = sampleSurface(M2, 300, 2);
+  double D = hausdorffDistance(A, B);
+  EXPECT_GT(D, 3.5);
+  EXPECT_LT(D, 6.5);
+}
+
+TEST(MeshTest, HausdorffOfDenseSamplesIsSmall) {
+  Mesh M = tessellate(tSphere());
+  std::vector<Vec3> A = sampleSurface(M, 2000, 1);
+  std::vector<Vec3> B = sampleSurface(M, 2000, 99);
+  EXPECT_LT(hausdorffDistance(A, B), 0.35);
+}

@@ -1,0 +1,148 @@
+//===-- tests/linalg_test.cpp - Vec3/Mat3/least-squares tests -------------===//
+
+#include "linalg/Matrix.h"
+#include "linalg/Vec3.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace shrinkray;
+
+namespace {
+
+void expectVecNear(Vec3 A, Vec3 B, double Eps = 1e-9) {
+  EXPECT_NEAR(A.X, B.X, Eps);
+  EXPECT_NEAR(A.Y, B.Y, Eps);
+  EXPECT_NEAR(A.Z, B.Z, Eps);
+}
+
+} // namespace
+
+TEST(Vec3Test, ComponentwiseArithmetic) {
+  Vec3 A{1, 2, 3}, B{4, 5, 6};
+  expectVecNear(A + B, {5, 7, 9});
+  expectVecNear(B - A, {3, 3, 3});
+  expectVecNear(2.0 * A, {2, 4, 6});
+  expectVecNear(A * B, {4, 10, 18});
+  expectVecNear(B / A, {4, 2.5, 2});
+}
+
+TEST(Vec3Test, NormAndDistance) {
+  Vec3 A{3, 4, 0};
+  EXPECT_DOUBLE_EQ(A.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(A.distance({3, 4, 12}), 12.0);
+}
+
+TEST(Vec3Test, ApproxEquals) {
+  Vec3 A{1, 2, 3};
+  EXPECT_TRUE(A.approxEquals({1.0005, 2, 3}, 1e-3));
+  EXPECT_FALSE(A.approxEquals({1.01, 2, 3}, 1e-3));
+}
+
+TEST(Mat3Test, RotZQuarterTurn) {
+  Vec3 V = Mat3::rotZ(90) * Vec3{1, 0, 0};
+  expectVecNear(V, {0, 1, 0});
+}
+
+TEST(Mat3Test, RotXQuarterTurn) {
+  Vec3 V = Mat3::rotX(90) * Vec3{0, 1, 0};
+  expectVecNear(V, {0, 0, 1});
+}
+
+TEST(Mat3Test, RotYQuarterTurn) {
+  Vec3 V = Mat3::rotY(90) * Vec3{0, 0, 1};
+  expectVecNear(V, {1, 0, 0});
+}
+
+TEST(Mat3Test, RotXyzMatchesOpenScadOrder) {
+  // rotate([90, 0, 90]) in OpenSCAD applies Rx first, then Rz.
+  Vec3 V = Mat3::rotXyz({90, 0, 90}) * Vec3{0, 1, 0};
+  // Rx(90): (0,1,0) -> (0,0,1); Rz(90): unchanged for the z axis.
+  expectVecNear(V, {0, 0, 1});
+}
+
+TEST(Mat3Test, TransposeIsInverseForRotations) {
+  Mat3 R = Mat3::rotXyz({30, 40, 50});
+  Vec3 P{0.3, -1.2, 2.5};
+  expectVecNear(R.transpose() * (R * P), P);
+}
+
+TEST(Mat3Test, ScaleMatrix) {
+  expectVecNear(Mat3::scale({2, 3, 4}) * Vec3{1, 1, 1}, {2, 3, 4});
+}
+
+TEST(MatrixTest, LeastSquaresExactLine) {
+  // y = 3x + 1 through 4 points: exact recovery.
+  Matrix A(4, 2);
+  std::vector<double> B(4);
+  for (int I = 0; I < 4; ++I) {
+    A.at(I, 0) = 1.0;
+    A.at(I, 1) = I;
+    B[I] = 3.0 * I + 1.0;
+  }
+  auto X = leastSquares(A, B);
+  ASSERT_TRUE(X.has_value());
+  EXPECT_NEAR((*X)[0], 1.0, 1e-9);
+  EXPECT_NEAR((*X)[1], 3.0, 1e-9);
+}
+
+TEST(MatrixTest, LeastSquaresOverdeterminedNoisy) {
+  // y = 2x with symmetric noise: slope estimate stays near 2.
+  Matrix A(5, 2);
+  std::vector<double> B = {0.01, 2.0, 3.99, 6.01, 8.0};
+  for (int I = 0; I < 5; ++I) {
+    A.at(I, 0) = 1.0;
+    A.at(I, 1) = I;
+  }
+  auto X = leastSquares(A, B);
+  ASSERT_TRUE(X.has_value());
+  EXPECT_NEAR((*X)[1], 2.0, 0.01);
+}
+
+TEST(MatrixTest, LeastSquaresDetectsRankDeficiency) {
+  Matrix A(3, 2); // second column all zero
+  std::vector<double> B = {1, 2, 3};
+  for (int I = 0; I < 3; ++I)
+    A.at(I, 0) = 1.0;
+  EXPECT_FALSE(leastSquares(A, B).has_value());
+}
+
+TEST(MatrixTest, SolveLinear3x3) {
+  Matrix A(3, 3);
+  double Rows[3][3] = {{2, 1, -1}, {-3, -1, 2}, {-2, 1, 2}};
+  for (int I = 0; I < 3; ++I)
+    for (int J = 0; J < 3; ++J)
+      A.at(I, J) = Rows[I][J];
+  auto X = solveLinear(A, {8, -11, -3});
+  ASSERT_TRUE(X.has_value());
+  EXPECT_NEAR((*X)[0], 2.0, 1e-9);
+  EXPECT_NEAR((*X)[1], 3.0, 1e-9);
+  EXPECT_NEAR((*X)[2], -1.0, 1e-9);
+}
+
+TEST(MatrixTest, SolveLinearSingular) {
+  Matrix A(2, 2);
+  A.at(0, 0) = 1;
+  A.at(0, 1) = 2;
+  A.at(1, 0) = 2;
+  A.at(1, 1) = 4;
+  EXPECT_FALSE(solveLinear(A, {1, 2}).has_value());
+}
+
+TEST(MatrixTest, RSquaredPerfectFit) {
+  std::vector<double> Y = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(rSquared(Y, Y), 1.0);
+}
+
+TEST(MatrixTest, RSquaredMeanFitIsZero) {
+  std::vector<double> Y = {1, 2, 3, 4};
+  std::vector<double> Fit(4, 2.5);
+  EXPECT_NEAR(rSquared(Y, Fit), 0.0, 1e-12);
+}
+
+TEST(MatrixTest, RSquaredConstantData) {
+  std::vector<double> Y = {5, 5, 5};
+  EXPECT_DOUBLE_EQ(rSquared(Y, {5, 5, 5}), 1.0);
+  EXPECT_DOUBLE_EQ(rSquared(Y, {5, 6, 5}), 0.0);
+}

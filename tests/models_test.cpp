@@ -1,0 +1,172 @@
+//===-- tests/models_test.cpp - Benchmark corpus tests --------------------===//
+
+#include "models/Models.h"
+
+#include "cad/Eval.h"
+#include "cad/Sexp.h"
+#include "geom/Sample.h"
+#include "synth/Synthesizer.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace shrinkray;
+using namespace shrinkray::models;
+
+TEST(ModelsTest, CorpusHasSixteenModels) {
+  EXPECT_EQ(allModels().size(), 16u);
+}
+
+TEST(ModelsTest, NamesAreUniqueAndProvenanceTagged) {
+  std::set<std::string> Names;
+  for (const BenchmarkModel &M : allModels()) {
+    EXPECT_TRUE(Names.insert(M.Name).second) << M.Name;
+    EXPECT_TRUE(M.Provenance == 'T' || M.Provenance == 'I');
+    EXPECT_FALSE(M.Description.empty());
+  }
+}
+
+TEST(ModelsTest, AllModelsAreFlatCsg) {
+  for (const BenchmarkModel &M : allModels()) {
+    EXPECT_TRUE(isFlatCsg(M.FlatCsg)) << M.Name;
+    EXPECT_FALSE(containsLoop(M.FlatCsg)) << M.Name;
+  }
+}
+
+TEST(ModelsTest, PaperRowsArePopulated) {
+  for (const BenchmarkModel &M : allModels()) {
+    EXPECT_GT(M.Paper.InputNodes, 0) << M.Name;
+    EXPECT_GT(M.Paper.TimeSec, 0.0) << M.Name;
+    EXPECT_FALSE(M.Paper.Loops.empty()) << M.Name;
+  }
+}
+
+TEST(ModelsTest, ModelSizesAreSubstantial) {
+  // The corpus must exercise real scale: tens to hundreds of nodes, matching
+  // the paper's #i-ns spread (31 .. 621).
+  uint64_t MinSize = UINT64_MAX, MaxSize = 0;
+  for (const BenchmarkModel &M : allModels()) {
+    uint64_t S = termSize(M.FlatCsg);
+    MinSize = std::min(MinSize, S);
+    MaxSize = std::max(MaxSize, S);
+  }
+  EXPECT_LE(MinSize, 60u);
+  EXPECT_GE(MaxSize, 600u);
+}
+
+TEST(ModelsTest, LookupByName) {
+  BenchmarkModel M = modelByName("3362402:gear");
+  EXPECT_EQ(M.Provenance, 'I');
+  EXPECT_TRUE(M.ExpectStructure);
+}
+
+TEST(ModelsTest, GearScalesWithTeeth) {
+  TermPtr G12 = gearModel(12);
+  TermPtr G60 = gearModel(60);
+  EXPECT_LT(termSize(G12), termSize(G60));
+  EXPECT_EQ(termPrimitives(G60), 63u); // 60 teeth + 3 cylinders
+  EXPECT_TRUE(isFlatCsg(G60));
+}
+
+TEST(ModelsTest, GearGeometryIsSane) {
+  TermPtr G = gearModel(12);
+  // A point inside the hub ring but outside the bore.
+  EXPECT_TRUE(geom::contains(G, {50, 0, 25}));
+  // Inside the bore: removed.
+  EXPECT_FALSE(geom::contains(G, {0, 0, 25}));
+  // Inside a tooth at angle 30 degrees (tooth 1 at 360/12 * 1).
+  EXPECT_TRUE(geom::contains(G, {127.0 * std::cos(degToRad(30.0)),
+                                 127.0 * std::sin(degToRad(30.0)), 10.0}));
+}
+
+TEST(ModelsTest, NoisyHexagonsMatchFigure16) {
+  TermPtr T = noisyHexagonsModel();
+  EXPECT_TRUE(isFlatCsg(T));
+  EXPECT_EQ(termPrimitives(T), 3u);
+  // The noisy constants from the figure are present verbatim.
+  std::string S = printSexp(T);
+  EXPECT_NE(S.find("1.4999996667"), std::string::npos);
+  EXPECT_NE(S.find("0.866"), std::string::npos);
+}
+
+TEST(ModelsTest, InjectNoisePerturbsWithinBound) {
+  TermPtr Clean = tTranslate(10, 20, 30, tUnit());
+  TermPtr Noisy = injectNoise(Clean, 1e-3, 42);
+  EXPECT_TRUE(termApproxEquals(Clean, Noisy, 1e-3));
+  EXPECT_FALSE(termEquals(Clean, Noisy));
+  // Deterministic.
+  EXPECT_TRUE(termEquals(Noisy, injectNoise(Clean, 1e-3, 42)));
+  // Different seed, different noise.
+  EXPECT_FALSE(termEquals(Noisy, injectNoise(Clean, 1e-3, 43)));
+}
+
+TEST(ModelsTest, InjectNoiseKeepsGeometryClose) {
+  TermPtr Clean = modelByName("3171605:card-org").FlatCsg;
+  TermPtr Noisy = injectNoise(Clean, 1e-4, 7);
+  geom::SampleOptions Opts;
+  Opts.MismatchTolerance = 0.01;
+  EXPECT_TRUE(geom::sampleEquivalent(Clean, Noisy, Opts));
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end: every structured model must expose structure in top-k, and
+// every synthesized program must preserve geometry. (The full Table 1
+// regeneration lives in bench/bench_table1; this is the correctness gate.)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class ModelPipelineTest : public ::testing::TestWithParam<int> {};
+
+} // namespace
+
+TEST_P(ModelPipelineTest, SynthesisIsSoundAndFindsStructure) {
+  BenchmarkModel M = allModels()[static_cast<size_t>(GetParam())];
+  SynthesisOptions Opts;
+  Opts.TopK = 5;
+  SynthesisResult R = Synthesizer(Opts).synthesize(M.FlatCsg);
+  ASSERT_FALSE(R.Programs.empty()) << M.Name;
+
+  // Soundness: flattening the best program reproduces the input geometry.
+  // Models with External parts are compared structurally via flattening
+  // only (External is geometrically opaque).
+  EvalResult Flat = evalToFlatCsg(R.best());
+  ASSERT_TRUE(Flat) << M.Name << ": " << Flat.Error;
+  geom::SampleOptions SampleOpts;
+  SampleOpts.NumPoints = 4000;
+  EXPECT_TRUE(geom::sampleEquivalent(M.FlatCsg, Flat.Value, SampleOpts))
+      << M.Name;
+
+  // Size: never worse than the input under the size cost.
+  EXPECT_LE(termSize(R.best()), termSize(M.FlatCsg)) << M.Name;
+
+  // Structure: models the paper parameterized must expose loops within
+  // top-5 under at least one of the two shipped cost functions. (Our
+  // rewrite set simplifies flat forms harder than the paper's, so models
+  // with very small repetition counts need the reward-loops cost — the
+  // same knob the paper reached for on 510849:wardrobe.)
+  if (!M.ExpectStructure)
+    return;
+  if (R.structureRank() > 0)
+    return;
+  SynthesisOptions LoopOpts = Opts;
+  LoopOpts.Cost = CostKind::RewardLoops;
+  SynthesisResult R2 = Synthesizer(LoopOpts).synthesize(M.FlatCsg);
+  EXPECT_GT(R2.structureRank(), 0u) << M.Name;
+  // And the reward-loops winner must still be sound.
+  EvalResult Flat2 = evalToFlatCsg(R2.best());
+  ASSERT_TRUE(Flat2) << M.Name << ": " << Flat2.Error;
+  EXPECT_TRUE(geom::sampleEquivalent(M.FlatCsg, Flat2.Value, SampleOpts))
+      << M.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ModelPipelineTest, ::testing::Range(0, 16),
+    [](const ::testing::TestParamInfo<int> &Info) {
+      std::string Name = allModels()[static_cast<size_t>(Info.param)].Name;
+      for (char &C : Name)
+        if (!std::isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });

@@ -1,0 +1,198 @@
+//===-- tests/pipeline_property_test.cpp - End-to-end property tests ------===//
+//
+// Property-based validation of the whole system:
+//
+//  * Inverse property: a random *structured* LambdaCAD program, flattened,
+//    then synthesized, must yield programs that flatten back to the same
+//    geometry (round-trip through the pipeline).
+//  * Recovery property: when the structured generator used a loop with
+//    enough repetitions, the synthesizer exposes a loop again.
+//  * Human-model property: every human-written corpus counterpart flattens
+//    to exactly the corpus' flat model (models::humanModels()).
+//  * Noise property: flattening is invariant under epsilon-scale noise up
+//    to geometric tolerance.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cad/Eval.h"
+#include "cad/Sexp.h"
+#include "geom/Sample.h"
+#include "models/HumanModels.h"
+#include "models/Models.h"
+#include "support/Rng.h"
+#include "synth/Synthesizer.h"
+
+#include <gtest/gtest.h>
+
+using namespace shrinkray;
+
+namespace {
+
+/// Generates a random structured program: a base assembly plus one or two
+/// loops over a repeated feature with linear (occasionally quadratic)
+/// per-index transforms.
+TermPtr randomStructured(Rng &R, int &LoopCountOut) {
+  auto randPrim = [&]() -> TermPtr {
+    switch (R.nextBelow(3)) {
+    case 0:
+      return tScale(R.nextDouble(1, 4), R.nextDouble(1, 4),
+                    R.nextDouble(1, 4), tUnit());
+    case 1:
+      return tScale(R.nextDouble(1, 3), R.nextDouble(1, 3),
+                    R.nextDouble(1, 4), tCylinder());
+    default:
+      return tScale(R.nextDouble(1, 3), R.nextDouble(1, 3),
+                    R.nextDouble(1, 3), tSphere());
+    }
+  };
+
+  auto randLoop = [&]() -> TermPtr {
+    int N = 4 + static_cast<int>(R.nextBelow(5)); // 4..8 repetitions
+    double Step = 2.0 + static_cast<double>(R.nextBelow(5));
+    double Base = R.nextDouble(-4, 4);
+    int Axis = static_cast<int>(R.nextBelow(3));
+    TermPtr Expr = tAdd(tMul(tFloat(Step), tVar("i")), tFloat(Base));
+    TermPtr Vec =
+        Axis == 0   ? tVec3(Expr, tFloat(0), tFloat(0))
+        : Axis == 1 ? tVec3(tFloat(0), Expr, tFloat(0))
+                    : tVec3(tFloat(0), tFloat(0), Expr);
+    TermPtr Body = tTranslate(Vec, tVar("c"));
+    return tFold(tOpRef(OpKind::Union), tEmpty(),
+                 tMapi(tFun({tVar("i"), tVar("c"), Body}),
+                       tRepeat(randPrim(), tInt(N))));
+  };
+
+  int Loops = 1 + static_cast<int>(R.nextBelow(2));
+  LoopCountOut = Loops;
+  TermPtr Out = tTranslate(R.nextDouble(-10, 10), R.nextDouble(-10, 10), 0,
+                           randLoop());
+  for (int I = 1; I < Loops; ++I)
+    Out = tUnion(Out, tTranslate(R.nextDouble(10, 25),
+                                 R.nextDouble(-10, 10), 0, randLoop()));
+  if (R.nextBelow(2) == 0)
+    Out = tUnion(Out, tTranslate(-12, -12, 0, randPrim()));
+  return Out;
+}
+
+} // namespace
+
+class PipelineRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelineRoundTrip, FlattenSynthesizeFlattenPreservesGeometry) {
+  Rng R(static_cast<uint64_t>(GetParam()) * 1337 + 5);
+  int Loops = 0;
+  TermPtr Structured = randomStructured(R, Loops);
+
+  EvalResult Flat = evalToFlatCsg(Structured);
+  ASSERT_TRUE(Flat) << Flat.Error;
+  ASSERT_TRUE(isFlatCsg(Flat.Value));
+
+  SynthesisResult Result = Synthesizer().synthesize(Flat.Value);
+  ASSERT_FALSE(Result.Programs.empty());
+
+  geom::SampleOptions Opts;
+  Opts.NumPoints = 4000;
+  for (const RankedTerm &P : Result.Programs) {
+    EvalResult Back = evalToFlatCsg(P.T);
+    ASSERT_TRUE(Back) << printSexp(P.T) << "\n" << Back.Error;
+    EXPECT_TRUE(geom::sampleEquivalent(Flat.Value, Back.Value, Opts))
+        << prettyPrint(P.T);
+  }
+
+  // Recovery: the generator used loops of >= 4 repetitions, which beat the
+  // flat spelling under AST size, so the best program must have loops.
+  EXPECT_TRUE(containsLoop(Result.best())) << prettyPrint(Result.best());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineRoundTrip, ::testing::Range(0, 12));
+
+//===----------------------------------------------------------------------===//
+// Human-written counterparts
+//===----------------------------------------------------------------------===//
+
+TEST(HumanModelsTest, EveryHumanModelFlattensToItsCorpusEntry) {
+  for (const models::HumanModel &H : models::humanModels()) {
+    models::BenchmarkModel M = models::modelByName(H.Name);
+    EvalResult Flat = evalToFlatCsg(H.Structured);
+    ASSERT_TRUE(Flat) << H.Name << ": " << Flat.Error;
+    EXPECT_TRUE(termApproxEquals(Flat.Value, M.FlatCsg, 1e-9)) << H.Name;
+  }
+}
+
+TEST(HumanModelsTest, HumanModelsAreStructured) {
+  for (const models::HumanModel &H : models::humanModels()) {
+    EXPECT_TRUE(containsLoop(H.Structured)) << H.Name;
+    EXPECT_FALSE(H.LoopShape.empty()) << H.Name;
+  }
+}
+
+TEST(HumanModelsTest, CoversAllStructuredCorpusEntriesButDice) {
+  // Every ExpectStructure model except the dice (whose human-written
+  // original was flat — paper Sec. 6.2) has a human counterpart.
+  std::set<std::string> Human;
+  for (const models::HumanModel &H : models::humanModels())
+    Human.insert(H.Name);
+  for (const models::BenchmarkModel &M : models::allModels()) {
+    if (!M.ExpectStructure || M.Name == "3094201:dice")
+      continue;
+    EXPECT_TRUE(Human.count(M.Name)) << M.Name;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Noise properties
+//===----------------------------------------------------------------------===//
+
+class NoiseProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(NoiseProperty, EpsilonNoiseDoesNotBreakRecovery) {
+  Rng R(static_cast<uint64_t>(GetParam()) * 99991 + 3);
+  std::vector<TermPtr> Cubes;
+  int N = 5 + static_cast<int>(R.nextBelow(4));
+  double Step = 2.0 + static_cast<double>(R.nextBelow(4));
+  for (int I = 0; I < N; ++I)
+    Cubes.push_back(tTranslate(Step * I + 1.0, 0, 0, tUnit()));
+  TermPtr Clean = tUnionAll(Cubes);
+  TermPtr Noisy =
+      models::injectNoise(Clean, 5e-4, 7000 + GetParam());
+
+  SynthesisResult Result = Synthesizer().synthesize(Noisy);
+  ASSERT_FALSE(Result.Programs.empty());
+  EXPECT_TRUE(containsLoop(Result.best())) << prettyPrint(Result.best());
+
+  // The snapped output stays within a small geometric tolerance of the
+  // noisy input (and hence of the clean model).
+  EvalResult Flat = evalToFlatCsg(Result.best());
+  ASSERT_TRUE(Flat) << Flat.Error;
+  geom::SampleOptions Opts;
+  Opts.MismatchTolerance = 0.01;
+  EXPECT_TRUE(geom::sampleEquivalent(Clean, Flat.Value, Opts));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NoiseProperty, ::testing::Range(0, 8));
+
+//===----------------------------------------------------------------------===//
+// Sexp/eval round-trip properties on structured programs
+//===----------------------------------------------------------------------===//
+
+class SexpRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(SexpRoundTrip, PrintParseEvalAgree) {
+  Rng R(static_cast<uint64_t>(GetParam()) * 31 + 17);
+  int Loops = 0;
+  TermPtr Structured = randomStructured(R, Loops);
+
+  // print -> parse is the identity.
+  ParseResult Back = parseSexp(printSexp(Structured));
+  ASSERT_TRUE(Back) << Back.Error;
+  EXPECT_TRUE(termEquals(Structured, Back.Value));
+
+  // ...and evaluating either gives the same flat model.
+  EvalResult A = evalToFlatCsg(Structured);
+  EvalResult B = evalToFlatCsg(Back.Value);
+  ASSERT_TRUE(A);
+  ASSERT_TRUE(B);
+  EXPECT_TRUE(termEquals(A.Value, B.Value));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SexpRoundTrip, ::testing::Range(0, 16));

@@ -1,0 +1,109 @@
+//===-- tests/support_test.cpp - Symbol, hashing, RNG tests ---------------===//
+
+#include "support/Hashing.h"
+#include "support/Rng.h"
+#include "support/Symbol.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+using namespace shrinkray;
+
+TEST(SymbolTest, InterningGivesEqualIds) {
+  Symbol A("translate");
+  Symbol B("translate");
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.id(), B.id());
+}
+
+TEST(SymbolTest, DistinctSpellingsDiffer) {
+  Symbol A("x");
+  Symbol B("y");
+  EXPECT_NE(A, B);
+}
+
+TEST(SymbolTest, RoundTripsSpelling) {
+  Symbol A("some-long-name_42");
+  EXPECT_EQ(A.str(), "some-long-name_42");
+}
+
+TEST(SymbolTest, DefaultIsEmpty) {
+  Symbol S;
+  EXPECT_TRUE(S.empty());
+  EXPECT_EQ(S.str(), "");
+  EXPECT_EQ(S, Symbol(""));
+}
+
+TEST(SymbolTest, SpellingViewStaysValidAfterManyInterns) {
+  Symbol First("stable-spelling");
+  std::string_view View = First.str();
+  for (int I = 0; I < 1000; ++I)
+    Symbol S(std::string("filler") + std::to_string(I));
+  EXPECT_EQ(View, "stable-spelling");
+}
+
+TEST(SymbolTest, UsableAsHashKey) {
+  std::unordered_set<Symbol> Set;
+  Set.insert(Symbol("a"));
+  Set.insert(Symbol("b"));
+  Set.insert(Symbol("a"));
+  EXPECT_EQ(Set.size(), 2u);
+}
+
+TEST(HashingTest, HashDoubleFoldsNegativeZero) {
+  EXPECT_EQ(hashDouble(0.0), hashDouble(-0.0));
+}
+
+TEST(HashingTest, HashDoubleDistinguishesValues) {
+  EXPECT_NE(hashDouble(1.0), hashDouble(2.0));
+}
+
+TEST(HashingTest, HashAllOrderSensitive) {
+  EXPECT_NE(hashAll(1, 2), hashAll(2, 1));
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  bool AnyDifferent = false;
+  for (int I = 0; I < 16; ++I)
+    AnyDifferent |= A.next() != B.next();
+  EXPECT_TRUE(AnyDifferent);
+}
+
+TEST(RngTest, DoublesInUnitInterval) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I) {
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(RngTest, RangedDoublesRespectBounds) {
+  Rng R(9);
+  for (int I = 0; I < 1000; ++I) {
+    double D = R.nextDouble(-3.0, 5.0);
+    EXPECT_GE(D, -3.0);
+    EXPECT_LT(D, 5.0);
+  }
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng R(11);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 1000; ++I) {
+    uint64_t V = R.nextBelow(10);
+    EXPECT_LT(V, 10u);
+    Seen.insert(V);
+  }
+  // All residues should appear over 1000 draws.
+  EXPECT_EQ(Seen.size(), 10u);
+}

@@ -1,0 +1,261 @@
+//===-- tools/shrinkray.cpp - The ShrinkRay command-line tool -------------===//
+//
+// The command-line face of the library: read a flat CSG model (s-expression
+// or OpenSCAD subset), synthesize the top-k parameterized LambdaCAD
+// programs, and print or export them.
+//
+//   shrinkray [options] [input-file]
+//
+//   Input (default: stdin):
+//     *.scad files are parsed with the OpenSCAD frontend and flattened;
+//     anything else is parsed as a LambdaCAD s-expression and, if it
+//     contains loops, flattened first.
+//
+//   Options:
+//     -k N             top-k programs to report (default 5)
+//     -cost size|loops cost function (default size)
+//     -o FILE          write the best program to FILE
+//     -format sexp|pretty|scad   output syntax (default pretty)
+//     -validate        flatten the output and compare geometry by sampling
+//     -stats           print e-graph and solver statistics
+//     -quiet           print only the best program
+//
+//===----------------------------------------------------------------------===//
+
+#include "cad/Eval.h"
+#include "cad/Sexp.h"
+#include "geom/Sample.h"
+#include "scad/ScadEmitter.h"
+#include "scad/ScadParser.h"
+#include "synth/Synthesizer.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace shrinkray;
+
+namespace {
+
+struct CliOptions {
+  std::string InputPath;  // empty = stdin
+  std::string OutputPath; // empty = none
+  std::string Format = "pretty";
+  SynthesisOptions Synth;
+  bool Validate = false;
+  bool Stats = false;
+  bool Quiet = false;
+};
+
+void usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options] [input-file]\n"
+      "  -k N                     top-k programs (default 5)\n"
+      "  -cost size|loops         extraction cost (default size)\n"
+      "  -o FILE                  write best program to FILE\n"
+      "  -format sexp|pretty|scad output syntax (default pretty)\n"
+      "  -validate                check geometric equivalence by sampling\n"
+      "  -stats                   print pipeline statistics\n"
+      "  -quiet                   print only the best program\n",
+      Argv0);
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto next = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : nullptr;
+    };
+    if (Arg == "-k") {
+      const char *V = next();
+      if (!V || std::atoi(V) < 1)
+        return false;
+      Opts.Synth.TopK = static_cast<size_t>(std::atoi(V));
+    } else if (Arg == "-cost") {
+      const char *V = next();
+      if (!V)
+        return false;
+      if (std::strcmp(V, "size") == 0)
+        Opts.Synth.Cost = CostKind::AstSize;
+      else if (std::strcmp(V, "loops") == 0)
+        Opts.Synth.Cost = CostKind::RewardLoops;
+      else
+        return false;
+    } else if (Arg == "-o") {
+      const char *V = next();
+      if (!V)
+        return false;
+      Opts.OutputPath = V;
+    } else if (Arg == "-format") {
+      const char *V = next();
+      if (!V)
+        return false;
+      Opts.Format = V;
+      if (Opts.Format != "sexp" && Opts.Format != "pretty" &&
+          Opts.Format != "scad")
+        return false;
+    } else if (Arg == "-validate") {
+      Opts.Validate = true;
+    } else if (Arg == "-stats") {
+      Opts.Stats = true;
+    } else if (Arg == "-quiet") {
+      Opts.Quiet = true;
+    } else if (Arg == "-h" || Arg == "--help") {
+      return false;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      return false;
+    } else {
+      Opts.InputPath = Arg;
+    }
+  }
+  return true;
+}
+
+std::string renderProgram(const TermPtr &T, const std::string &Format) {
+  if (Format == "sexp")
+    return printSexp(T);
+  if (Format == "scad") {
+    if (std::optional<std::string> Scad = scad::emitScad(T))
+      return *Scad;
+    // Fall back: flatten, then emit.
+    EvalResult Flat = evalToFlatCsg(T);
+    if (Flat)
+      if (std::optional<std::string> Scad = scad::emitScad(Flat.Value))
+        return "// no direct OpenSCAD spelling; flattened form:\n" + *Scad;
+    return "// not expressible in OpenSCAD\n";
+  }
+  return prettyPrint(T);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Opts;
+  if (!parseArgs(Argc, Argv, Opts)) {
+    usage(Argv[0]);
+    return 2;
+  }
+
+  // --- Read the input ----------------------------------------------------
+  std::string Source;
+  if (Opts.InputPath.empty()) {
+    std::ostringstream Buf;
+    Buf << std::cin.rdbuf();
+    Source = Buf.str();
+  } else {
+    std::ifstream In(Opts.InputPath);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open %s\n",
+                   Opts.InputPath.c_str());
+      return 1;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Source = Buf.str();
+  }
+
+  // --- Parse and flatten --------------------------------------------------
+  TermPtr FlatCsg;
+  bool IsScad = Opts.InputPath.size() > 5 &&
+                Opts.InputPath.substr(Opts.InputPath.size() - 5) == ".scad";
+  if (IsScad) {
+    scad::ScadResult R = scad::parseScad(Source);
+    if (!R) {
+      std::fprintf(stderr, "error: %s: %s\n", Opts.InputPath.c_str(),
+                   R.Error.c_str());
+      return 1;
+    }
+    FlatCsg = R.Value;
+  } else {
+    ParseResult R = parseSexp(Source);
+    if (!R) {
+      std::fprintf(stderr, "error: %s\n", R.Error.c_str());
+      return 1;
+    }
+    if (isFlatCsg(R.Value)) {
+      FlatCsg = R.Value;
+    } else {
+      EvalResult Flat = evalToFlatCsg(R.Value);
+      if (!Flat) {
+        std::fprintf(stderr, "error: input is not flat CSG and does not "
+                             "flatten: %s\n",
+                     Flat.Error.c_str());
+        return 1;
+      }
+      FlatCsg = Flat.Value;
+      if (!Opts.Quiet)
+        std::fprintf(stderr, "note: input contained loops; flattened to "
+                             "%llu nodes first\n",
+                     static_cast<unsigned long long>(termSize(FlatCsg)));
+    }
+  }
+
+  // --- Synthesize ----------------------------------------------------------
+  SynthesisResult Result = Synthesizer(Opts.Synth).synthesize(FlatCsg);
+  if (Result.Programs.empty()) {
+    std::fprintf(stderr, "error: no programs synthesized\n");
+    return 1;
+  }
+
+  if (Opts.Quiet) {
+    std::printf("%s\n", renderProgram(Result.best(), Opts.Format).c_str());
+  } else {
+    std::printf("input: %llu nodes, %llu primitives, depth %llu\n\n",
+                static_cast<unsigned long long>(termSize(FlatCsg)),
+                static_cast<unsigned long long>(termPrimitives(FlatCsg)),
+                static_cast<unsigned long long>(termDepth(FlatCsg)));
+    for (size_t I = 0; I < Result.Programs.size(); ++I) {
+      const RankedTerm &P = Result.Programs[I];
+      LoopSummary Loops = describeLoops(P.T);
+      std::printf("-- rank %zu: %llu nodes%s%s --\n%s\n\n", I + 1,
+                  static_cast<unsigned long long>(termSize(P.T)),
+                  Loops.HasLoops ? ", loops " : "",
+                  Loops.HasLoops ? Loops.Notation.c_str() : "",
+                  renderProgram(P.T, Opts.Format).c_str());
+    }
+  }
+
+  if (Opts.Stats) {
+    std::printf("stats: %.3f s, %zu e-nodes, %zu e-classes, %zu fold "
+                "sites, %zu solver insertions, %zu rewrite iterations\n",
+                Result.Stats.Seconds, Result.Stats.ENodes,
+                Result.Stats.EClasses, Result.Stats.FoldSites,
+                Result.Stats.Records.size(),
+                Result.Stats.Rewriting.numIterations());
+  }
+
+  if (Opts.Validate) {
+    EvalResult Flat = evalToFlatCsg(Result.best());
+    if (!Flat) {
+      std::fprintf(stderr, "validate: flattening failed: %s\n",
+                   Flat.Error.c_str());
+      return 1;
+    }
+    geom::SampleOptions SampleOpts;
+    SampleOpts.MismatchTolerance = 0.002;
+    geom::SampleReport Report =
+        geom::compareBySampling(FlatCsg, Flat.Value, SampleOpts);
+    std::printf("validate: %zu points, mismatch ratio %.5f -> %s\n",
+                Report.Points, Report.mismatchRatio(),
+                Report.Equivalent ? "EQUIVALENT" : "DIFFERENT");
+    if (!Report.Equivalent)
+      return 1;
+  }
+
+  if (!Opts.OutputPath.empty()) {
+    std::ofstream Out(Opts.OutputPath);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   Opts.OutputPath.c_str());
+      return 1;
+    }
+    Out << renderProgram(Result.best(), Opts.Format) << "\n";
+    if (!Opts.Quiet)
+      std::printf("wrote best program to %s\n", Opts.OutputPath.c_str());
+  }
+  return 0;
+}
