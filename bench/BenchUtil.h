@@ -5,10 +5,11 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Row-formatting and measurement helpers shared by the experiment
-/// harnesses in bench/. Each harness regenerates one table or figure of the
-/// paper and prints the same rows/series the paper reports, so
-/// EXPERIMENTS.md can record paper-vs-measured side by side.
+/// Row-formatting, measurement, and JSON-report helpers shared by the
+/// experiment harnesses in bench/. Each harness regenerates one table or
+/// figure of the paper, prints the same rows/series the paper reports, and
+/// writes a machine-readable BENCH_<name>.json (see JsonReport) so the
+/// paper-vs-measured comparison is tracked across PRs.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -20,11 +21,173 @@
 #include "geom/Sample.h"
 #include "synth/Synthesizer.h"
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
 namespace shrinkray {
 namespace bench {
+
+/// Monotonic wall timer. All harness-level timing must go through
+/// steady_clock so the BENCH_*.json numbers stay comparable across runs
+/// even when the system clock steps (the synthesizer's own Stats.Seconds
+/// is steady_clock as well).
+class WallTimer {
+public:
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         Start)
+        .count();
+  }
+
+private:
+  std::chrono::steady_clock::time_point Start =
+      std::chrono::steady_clock::now();
+};
+
+/// Minimal-escape for JSON string values.
+inline std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+/// The one JSON spelling of a double (round-trippable %.9g).
+inline std::string jsonDouble(double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.9g", V);
+  return Buf;
+}
+
+/// An insertion-ordered JSON object; values are serialized on insertion.
+class JsonObject {
+public:
+  JsonObject &add(const std::string &Key, double V) {
+    return raw(Key, jsonDouble(V));
+  }
+  JsonObject &add(const std::string &Key, bool V) {
+    return raw(Key, V ? "true" : "false");
+  }
+  JsonObject &add(const std::string &Key, const std::string &V) {
+    return raw(Key, "\"" + jsonEscape(V) + "\"");
+  }
+  JsonObject &add(const std::string &Key, const char *V) {
+    return add(Key, std::string(V));
+  }
+  template <typename T,
+            typename std::enable_if<std::is_integral<T>::value &&
+                                        !std::is_same<T, bool>::value,
+                                    int>::type = 0>
+  JsonObject &add(const std::string &Key, T V) {
+    return raw(Key, std::to_string(V));
+  }
+
+  std::string render() const {
+    std::string Out = "{";
+    for (size_t I = 0; I < Fields.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += "\"" + jsonEscape(Fields[I].first) + "\": " + Fields[I].second;
+    }
+    return Out + "}";
+  }
+
+private:
+  JsonObject &raw(const std::string &Key, std::string Value) {
+    Fields.emplace_back(Key, std::move(Value));
+    return *this;
+  }
+  std::vector<std::pair<std::string, std::string>> Fields;
+};
+
+/// Accumulates one harness' machine-readable results and writes them to
+/// BENCH_<name>.json — the per-PR perf trajectory the repo tracks. Scalar
+/// headline metrics go on top(); per-model/per-config series go into row()
+/// entries. write() stamps a total "time_sec" (steady_clock, measured from
+/// construction) so every report is timed even if the harness records no
+/// finer-grained timing itself.
+///
+/// The file lands in $SHRINKRAY_BENCH_DIR when set (the `bench` CMake
+/// target points it at the repo root), else the current directory.
+class JsonReport {
+public:
+  explicit JsonReport(std::string Name) : Name(std::move(Name)) {}
+
+  JsonObject &top() { return Top; }
+  JsonObject &row() {
+    Rows.emplace_back();
+    return Rows.back();
+  }
+
+  /// Writes BENCH_<name>.json; returns false (after a diagnostic) on I/O
+  /// failure so harnesses can surface it in their exit status.
+  bool write() const {
+    const char *Dir = std::getenv("SHRINKRAY_BENCH_DIR");
+    std::string Path =
+        (Dir && *Dir ? std::string(Dir) + "/" : std::string()) + "BENCH_" +
+        Name + ".json";
+
+    std::string Out = "{\n  \"bench\": \"" + jsonEscape(Name) + "\",\n";
+    Out += "  \"time_sec\": " + jsonDouble(Timer.seconds()) + ",\n";
+    Out += "  \"metrics\": " + Top.render();
+    if (!Rows.empty()) {
+      Out += ",\n  \"rows\": [\n";
+      for (size_t I = 0; I < Rows.size(); ++I)
+        Out += "    " + Rows[I].render() + (I + 1 < Rows.size() ? ",\n" : "\n");
+      Out += "  ]";
+    }
+    Out += "\n}\n";
+
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "[bench] cannot write %s\n", Path.c_str());
+      return false;
+    }
+    size_t Written = std::fwrite(Out.data(), 1, Out.size(), F);
+    bool Ok = std::fclose(F) == 0 && Written == Out.size();
+    if (!Ok) {
+      std::fprintf(stderr, "[bench] short/failed write to %s\n", Path.c_str());
+      return false;
+    }
+    std::printf("[bench] wrote %s\n", Path.c_str());
+    return true;
+  }
+
+private:
+  std::string Name;
+  WallTimer Timer;
+  JsonObject Top;
+  std::vector<JsonObject> Rows;
+};
 
 /// Measured per-model metrics mirroring Table 1's columns.
 struct MeasuredRow {
@@ -72,6 +235,21 @@ inline MeasuredRow measureModel(const TermPtr &Input,
     Row.Sound = geom::sampleEquivalent(Input, Flat.Value, SampleOpts);
   }
   return Row;
+}
+
+/// Serializes a MeasuredRow's Table 1 columns into a JSON object.
+inline void addMeasuredFields(JsonObject &O, const MeasuredRow &Row) {
+  O.add("input_nodes", Row.InputNodes)
+      .add("output_nodes", Row.OutputNodes)
+      .add("input_prims", Row.InputPrims)
+      .add("output_prims", Row.OutputPrims)
+      .add("input_depth", Row.InputDepth)
+      .add("output_depth", Row.OutputDepth)
+      .add("loops", Row.Loops)
+      .add("forms", Row.Forms)
+      .add("time_sec", Row.TimeSec)
+      .add("rank", Row.Rank)
+      .add("sound", Row.Sound);
 }
 
 /// Percentage reduction helper (positive = smaller output).

@@ -58,14 +58,20 @@ AblationResult runCorpus(const SynthesisOptions &Base) {
 } // namespace
 
 int main() {
+  JsonReport Report("ablation");
   std::printf("== Ablations over the 16-model corpus ==\n\n");
   std::printf("%-14s | %-10s | %-13s | %s\n", "config", "structure",
               "avg size red.", "time(s)");
   printRule('-', 60);
 
-  auto report = [](const char *Name, const AblationResult &R) {
+  auto report = [&Report](const char *Name, const AblationResult &R) {
     std::printf("%-14s | %6d/16  | %12.1f%% | %7.1f\n", Name, R.Structured,
                 R.AvgReduction, R.TotalSeconds);
+    Report.row()
+        .add("config", Name)
+        .add("structured", R.Structured)
+        .add("avg_size_reduction_pct", R.AvgReduction)
+        .add("time_sec", R.TotalSeconds);
   };
 
   SynthesisOptions Full;
@@ -91,5 +97,5 @@ int main() {
               "long-chain models (gear) because fold extension needs ~n "
               "iterations; no-loop-inf keeps n1 loops but loses n2 grids' "
               "nesting\n");
-  return 0;
+  return Report.write() ? 0 : 1;
 }

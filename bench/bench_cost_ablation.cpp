@@ -23,6 +23,7 @@ using namespace shrinkray::bench;
 using namespace shrinkray::models;
 
 int main() {
+  JsonReport Report("cost_ablation");
   std::printf("== Sec. 6.1: cost-function ablation (size vs reward-loops) "
               "==\n\n");
   std::printf("%-24s | %-9s | %-12s | %-12s | %s\n", "model", "same top5",
@@ -69,6 +70,12 @@ int main() {
                 loopsOf(ByLoops, LoopRank).c_str(),
                 Flip ? "structure only under reward-loops (wardrobe-like)"
                      : "");
+    Report.row()
+        .add("model", M.Name)
+        .add("same_top5", Same)
+        .add("size_loops", loopsOf(BySize, SizeRank))
+        .add("reward_loops_loops", loopsOf(ByLoops, LoopRank))
+        .add("flip", Flip);
   }
 
   printRule('-', 90);
@@ -77,5 +84,9 @@ int main() {
   std::printf("wardrobe-like flips         : %d (paper: 1 — "
               "510849:wardrobe)\n",
               FlipCount);
-  return 0;
+  Report.top()
+      .add("same_top5", SameTopK)
+      .add("models", Corpus.size())
+      .add("flips", FlipCount);
+  return Report.write() ? 0 : 1;
 }

@@ -17,6 +17,7 @@ using namespace shrinkray;
 using namespace shrinkray::bench;
 
 int main() {
+  JsonReport Report("diversity");
   std::printf("== Figures 15/18/19: diversity of solutions (hc-bits) "
               "==\n\n");
   TermPtr Input = models::modelByName("2921167:hc-bits").FlatCsg;
@@ -60,11 +61,20 @@ int main() {
   EvalResult FlowerFlat = evalToFlatCsg(Flower);
   if (!FlowerFlat) {
     std::printf("flower flattening failed: %s\n", FlowerFlat.Error.c_str());
+    Report.top().add("flower_flattens", false).add("exit_code", 1);
+    Report.write(); // already failing; keep exit 1 either way
     return 1;
   }
   std::printf("10-cell flower flattens to %llu primitives "
               "(edit: Repeat 4 -> 10, step 90 -> 36)\n",
               static_cast<unsigned long long>(
                   termPrimitives(FlowerFlat.Value)));
-  return LoopRank && TrigRank ? 0 : 1;
+
+  int Exit = LoopRank && TrigRank ? 0 : 1;
+  Report.top()
+      .add("loop_variant_rank", LoopRank)
+      .add("trig_variant_rank", TrigRank)
+      .add("flower_primitives", termPrimitives(FlowerFlat.Value))
+      .add("exit_code", Exit);
+  return Report.write() ? Exit : 1;
 }

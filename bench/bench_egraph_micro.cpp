@@ -14,6 +14,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchUtil.h"
 #include "cad/Term.h"
 #include "egraph/Extract.h"
 #include "egraph/Runner.h"
@@ -189,11 +190,12 @@ bool checkFigure9() {
 } // namespace
 
 int main(int Argc, char **Argv) {
-  std::printf("Figure 7 single rule firing : %s\n",
-              checkFigure7() ? "PASS" : "FAIL");
-  std::printf("Figure 9 two-cube pipeline  : %s\n",
-              checkFigure9() ? "PASS" : "FAIL");
+  bench::JsonReport Report("egraph_micro");
+  bool Fig7 = checkFigure7(), Fig9 = checkFigure9();
+  std::printf("Figure 7 single rule firing : %s\n", Fig7 ? "PASS" : "FAIL");
+  std::printf("Figure 9 two-cube pipeline  : %s\n", Fig9 ? "PASS" : "FAIL");
   benchmark::Initialize(&Argc, Argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  Report.top().add("figure7_pass", Fig7).add("figure9_pass", Fig9);
+  return Report.write() && Fig7 && Fig9 ? 0 : 1;
 }

@@ -18,6 +18,7 @@ using namespace shrinkray;
 using namespace shrinkray::bench;
 
 int main() {
+  JsonReport Report("gear");
   std::printf("== Figures 1/3/4: gear case study (60 teeth) ==\n\n");
   TermPtr Gear = models::gearModel(60);
 
@@ -64,5 +65,11 @@ int main() {
   if (std::optional<std::string> Scad = scad::emitScad(R.best()))
     std::printf("\n-- OpenSCAD emission (loops survive) --\n%s\n",
                 Scad->c_str());
-  return 0;
+
+  addMeasuredFields(Report.top(), Row);
+  Report.top()
+      .add("mesh_triangles", Mesh.numTriangles())
+      .add("size_reduction_pct", reductionPct(Row.InputNodes, Row.OutputNodes))
+      .add("variant20_loops", L20.Notation);
+  return Report.write() ? 0 : 1;
 }

@@ -13,6 +13,7 @@ using namespace shrinkray;
 using namespace shrinkray::bench;
 
 int main() {
+  JsonReport Report("nested_affine");
   std::printf("== Figure 10: nested affine transformations ==\n\n");
   // Six towers so the loop wins under plain AST size (the figure's three
   // suffice under reward-loops; see DESIGN.md).
@@ -44,5 +45,9 @@ int main() {
   std::printf("Mapi layers found: %zu (paper: 3 — translate, rotate, "
               "scale)\n",
               MapiCount);
-  return MapiCount == 3 && Row.Sound ? 0 : 1;
+
+  int Exit = MapiCount == 3 && Row.Sound ? 0 : 1;
+  addMeasuredFields(Report.top(), Row);
+  Report.top().add("mapi_layers", MapiCount).add("exit_code", Exit);
+  return Report.write() ? Exit : 1;
 }

@@ -33,6 +33,7 @@ size_t rankOfLoopShape(const SynthesisResult &R,
 } // namespace
 
 int main() {
+  JsonReport Report("nested_loops");
   // --- Figure 14: 2x2 grid ------------------------------------------------
   std::printf("== Figure 14: 2x2 grid of cubes ==\n\n");
   std::vector<TermPtr> Grid;
@@ -80,5 +81,12 @@ int main() {
     Sound &= static_cast<bool>(Flat);
   }
   std::printf("soundness: %s\n", Sound ? "yes" : "NO");
-  return GridRank && DiceRank && Sound ? 0 : 1;
+
+  int Exit = GridRank && DiceRank && Sound ? 0 : 1;
+  Report.top()
+      .add("grid_rank", GridRank)
+      .add("dice_rank", DiceRank)
+      .add("sound", Sound)
+      .add("exit_code", Exit);
+  return Report.write() ? Exit : 1;
 }

@@ -17,6 +17,7 @@ using namespace shrinkray;
 using namespace shrinkray::bench;
 
 int main() {
+  JsonReport Report("noisy");
   std::printf("== Figure 16: the noisy decompiled hexagons ==\n\n");
   TermPtr Input = models::noisyHexagonsModel();
 
@@ -67,8 +68,15 @@ int main() {
     const char *Note = Mag <= 1e-3 ? "within eps band"
                                    : "beyond eps: loop may vanish";
     std::printf("%-12g | %-10s | %s\n", Mag, Found ? "yes" : "no", Note);
+    Report.row().add("noise", Mag).add("loop_found", Found);
   }
   std::printf("\nexpected shape: loops recovered for all magnitudes within "
               "the 1e-3 epsilon band, lost beyond it\n");
-  return 0;
+
+  Report.top()
+      .add("output_nodes", termSize(R.best()))
+      .add("synth_time_sec", R.Stats.Seconds)
+      .add("mapi_records", MapiRecords)
+      .add("first_mapi_rank", Rank);
+  return Report.write() ? 0 : 1;
 }

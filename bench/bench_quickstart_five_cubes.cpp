@@ -13,6 +13,7 @@ using namespace shrinkray;
 using namespace shrinkray::bench;
 
 int main() {
+  JsonReport Report("quickstart_five_cubes");
   std::printf("== Figure 2: five translated cubes ==\n\n");
   std::vector<TermPtr> Cubes;
   for (int I = 1; I <= 5; ++I)
@@ -39,5 +40,13 @@ int main() {
   std::printf("shape check: Mapi=%s Repeat(Unit,5)=%s slope-2=%s\n",
               HasMapi ? "yes" : "NO", HasRepeat5 ? "yes" : "NO",
               HasSlope2 ? "yes" : "NO");
-  return HasMapi && HasRepeat5 && Row.Sound ? 0 : 1;
+
+  int Exit = HasMapi && HasRepeat5 && Row.Sound ? 0 : 1;
+  addMeasuredFields(Report.top(), Row);
+  Report.top()
+      .add("has_mapi", HasMapi)
+      .add("has_repeat5", HasRepeat5)
+      .add("has_slope2", HasSlope2)
+      .add("exit_code", Exit);
+  return Report.write() ? Exit : 1;
 }

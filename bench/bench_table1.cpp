@@ -54,6 +54,7 @@ void printPaper(const PaperRow &P) {
 } // namespace
 
 int main() {
+  JsonReport Report("table1");
   std::printf("== Table 1: ShrinkRay on the 16-model benchmark corpus ==\n");
   std::printf("(default cost: AST size; k = 5; falls back to reward-loops "
               "when size hides small-count structure)\n\n");
@@ -83,6 +84,9 @@ int main() {
     }
     printMeasured(M.Name + (M.Provenance == 'T' ? " [T]" : " [I]"), Row);
     printPaper(M.Paper);
+    JsonObject &JRow = Report.row();
+    JRow.add("model", M.Name);
+    addMeasuredFields(JRow, Row);
 
     SumReduction += reductionPct(Row.InputNodes, Row.OutputNodes);
     SumDepthReduction += reductionPct(Row.InputDepth, Row.OutputDepth);
@@ -123,5 +127,16 @@ int main() {
               "d2,(d2,d2)", 6.33, 1);
   std::printf("\nexpected shape: output may be *larger* than the input but "
               "exposes the quadratic shelf/rail loops\n");
-  return 0;
+
+  Report.top()
+      .add("avg_size_reduction_pct", SumReduction / N)
+      .add("avg_depth_reduction_pct", SumDepthReduction / N)
+      .add("avg_prim_reduction_pct", SumPrimReduction / N)
+      .add("structure_exposed", Structured)
+      .add("sound", SoundCount)
+      .add("models", Corpus.size())
+      .add("total_time_sec", SumTime)
+      .add("wardrobe_rl_rank", AtRow.Rank)
+      .add("wardrobe_rl_output_nodes", AtRow.OutputNodes);
+  return Report.write() ? 0 : 1;
 }

@@ -1,0 +1,34 @@
+# Runs one experiment harness for the `bench` meta-target.
+#
+#   cmake -DBENCH_BIN=<exe> -DBENCH_NAME=<name> -DOUT_DIR=<dir> \
+#         -P cmake/RunBench.cmake
+#
+# The harness inherits SHRINKRAY_BENCH_DIR=<OUT_DIR> so its JSON emitter
+# (bench/BenchUtil.h) writes BENCH_<name>.json into <OUT_DIR>. A harness
+# whose paper-shape check fails exits nonzero; by default that is reported
+# as a warning rather than aborting the run, so one regressed figure does
+# not block the rest of the BENCH_*.json trajectory from regenerating. Pass
+# -DBENCH_STRICT=1 to turn a nonzero harness exit fatal. (CI gates only the
+# quickstart harness, which it runs directly — see .github/workflows/ci.yml.)
+foreach(var BENCH_BIN BENCH_NAME OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "RunBench.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+message(STATUS "[bench] running ${BENCH_NAME}")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env SHRINKRAY_BENCH_DIR=${OUT_DIR} ${BENCH_BIN}
+  WORKING_DIRECTORY ${OUT_DIR}
+  RESULT_VARIABLE bench_rc)
+
+if(NOT bench_rc EQUAL 0)
+  if(BENCH_STRICT)
+    message(FATAL_ERROR
+      "[bench] bench_${BENCH_NAME} exited with status ${bench_rc}")
+  endif()
+  message(WARNING
+    "[bench] bench_${BENCH_NAME} exited with status ${bench_rc} (its "
+    "paper-shape check failed); BENCH_${BENCH_NAME}.json was still written "
+    "if the harness reached its emitter")
+endif()

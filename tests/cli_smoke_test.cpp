@@ -1,0 +1,79 @@
+//===-- tests/cli_smoke_test.cpp - End-to-end CLI smoke test --------------===//
+//
+// Drives the built `shrinkray` binary the way a user would: pipe a small
+// flat-CSG s-expression through stdin, ask for the best program as an
+// s-expression, and prove the round trip by re-parsing the output with
+// parseSexp. The binary's path is baked in at configure time
+// (SHRINKRAY_CLI_PATH) and can be overridden with $SHRINKRAY_CLI.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cad/Sexp.h"
+#include "cad/Term.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+using namespace shrinkray;
+
+namespace {
+
+std::string cliPath() {
+  if (const char *Env = std::getenv("SHRINKRAY_CLI"))
+    return Env;
+  return SHRINKRAY_CLI_PATH;
+}
+
+/// Runs `Cmd` under the shell, captures stdout, and returns the process
+/// exit status (-1 if the pipe could not be opened).
+int runCommand(const std::string &Cmd, std::string &Stdout) {
+  std::FILE *Pipe = popen(Cmd.c_str(), "r");
+  if (!Pipe)
+    return -1;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), Pipe)) > 0)
+    Stdout.append(Buf, N);
+  int Status = pclose(Pipe);
+  return WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+}
+
+constexpr const char *FiveCubes =
+    "(Union (Translate (Vec3 2 0 0) Unit)"
+    " (Union (Translate (Vec3 4 0 0) Unit)"
+    " (Union (Translate (Vec3 6 0 0) Unit)"
+    " (Union (Translate (Vec3 8 0 0) Unit)"
+    " (Translate (Vec3 10 0 0) Unit)))))";
+
+} // namespace
+
+TEST(CliSmokeTest, SexpRoundTripsThroughBinary) {
+  std::string Out;
+  std::string Cmd = std::string("printf '%s' '") + FiveCubes + "' | '" +
+                    cliPath() + "' -k 1 -format sexp -quiet 2>/dev/null";
+  int Exit = runCommand(Cmd, Out);
+  ASSERT_EQ(Exit, 0) << "command: " << Cmd << "\nstdout: " << Out;
+  ASSERT_FALSE(Out.empty());
+
+  ParseResult Parsed = parseSexp(Out);
+  ASSERT_TRUE(static_cast<bool>(Parsed)) << "unparseable CLI output:\n"
+                                         << Out << "\nerror: " << Parsed.Error;
+  EXPECT_GT(termSize(Parsed.Value), 0u);
+}
+
+TEST(CliSmokeTest, BadFlagExitsNonZeroWithUsage) {
+  std::string Out;
+  std::string Cmd = std::string("'") + cliPath() +
+                    "' -definitely-not-a-flag </dev/null 2>/dev/null";
+  EXPECT_NE(runCommand(Cmd, Out), 0);
+}
+
+TEST(CliSmokeTest, MalformedInputExitsNonZero) {
+  std::string Out;
+  std::string Cmd = std::string("printf '%s' '(Union (Oops' | '") +
+                    cliPath() + "' -k 1 -quiet 2>/dev/null";
+  EXPECT_NE(runCommand(Cmd, Out), 0);
+}
