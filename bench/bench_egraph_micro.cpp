@@ -10,7 +10,12 @@
 //    inference — the list class must gain the Mapi node.
 //
 // The microbenchmarks cover addTerm throughput, merge+rebuild, e-matching,
-// saturation on a chain workload, and one-best/k-best extraction.
+// and one-best/k-best extraction. The saturation stress case is NOT a
+// google-benchmark loop: it runs once, instrumented, and reports one JSON
+// row per Runner iteration (nodes, matches, seconds) plus one row per
+// rewrite rule (search/apply time, match counts) so a regression in a
+// single iteration or rule is visible in the BENCH trajectory instead of
+// hiding inside an opaque total.
 //
 //===----------------------------------------------------------------------===//
 
@@ -25,6 +30,9 @@
 #include "synth/Inference.h"
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <string_view>
 
 using namespace shrinkray;
 
@@ -85,19 +93,6 @@ void BM_EMatchLift(benchmark::State &State) {
 }
 BENCHMARK(BM_EMatchLift)->Arg(16)->Arg(64)->Arg(256);
 
-void BM_SaturateChain(benchmark::State &State) {
-  TermPtr T = chain(static_cast<int>(State.range(0)));
-  for (auto _ : State) {
-    EGraph G;
-    G.addTerm(T);
-    Runner R(RunnerLimits{
-        .IterLimit = static_cast<size_t>(2 * State.range(0) + 8)});
-    benchmark::DoNotOptimize(R.run(G, pipelineRules()).numIterations());
-  }
-}
-BENCHMARK(BM_SaturateChain)->Arg(8)->Arg(16)->Arg(32)
-    ->Unit(benchmark::kMillisecond);
-
 void BM_ExtractOneBest(benchmark::State &State) {
   EGraph G;
   G.addTerm(chain(static_cast<int>(State.range(0))));
@@ -148,6 +143,61 @@ void BM_PolySolverNoisy(benchmark::State &State) {
 BENCHMARK(BM_PolySolverNoisy)->Arg(8)->Arg(32)->Arg(128);
 
 //===----------------------------------------------------------------------===//
+// Saturation stress case: one instrumented run, one JSON row per
+// iteration and per rule.
+//===----------------------------------------------------------------------===//
+
+void runSaturationStress(bench::JsonReport &Report) {
+  const int N = 32;
+  EGraph G;
+  G.addTerm(chain(N));
+  Runner R(RunnerLimits{.IterLimit = static_cast<size_t>(2 * N + 8)});
+  RunnerReport Run = R.run(G, pipelineRules());
+
+  std::printf("\nsaturation stress (chain n=%d): %zu iterations, %.3fs\n",
+              N, Run.numIterations(), Run.Seconds);
+  std::printf("%6s | %8s | %8s | %8s | %9s\n", "iter", "nodes", "matches",
+              "applied", "sec");
+  for (size_t I = 0; I < Run.Iterations.size(); ++I) {
+    const IterationStats &S = Run.Iterations[I];
+    std::printf("%6zu | %8zu | %8zu | %8zu | %9.4f\n", I, S.Nodes,
+                S.Matches, S.Applied, S.Seconds);
+    Report.row()
+        .add("kind", "iteration")
+        .add("iter", I)
+        .add("nodes", S.Nodes)
+        .add("classes", S.Classes)
+        .add("matches", S.Matches)
+        .add("applied", S.Applied)
+        .add("time_sec", S.Seconds);
+  }
+  // Per-rule breakdown, heaviest searchers first; rules that never
+  // matched stay out of the report to keep the trajectory readable.
+  std::vector<const RuleStats *> ByCost;
+  for (const RuleStats &S : Run.Rules)
+    if (S.Matches > 0)
+      ByCost.push_back(&S);
+  std::sort(ByCost.begin(), ByCost.end(),
+            [](const RuleStats *A, const RuleStats *B) {
+              return A->SearchSec + A->ApplySec > B->SearchSec + B->ApplySec;
+            });
+  for (const RuleStats *S : ByCost)
+    Report.row()
+        .add("kind", "rule")
+        .add("rule", S->Name)
+        .add("search_sec", S->SearchSec)
+        .add("apply_sec", S->ApplySec)
+        .add("matches", S->Matches)
+        .add("applied", S->Applied)
+        .add("full_searches", S->FullSearches)
+        .add("incremental_searches", S->IncrementalSearches);
+  Report.top()
+      .add("saturation_iters", Run.numIterations())
+      .add("saturation_sec", Run.Seconds)
+      .add("saturation_nodes", G.numNodes());
+}
+
+//===----------------------------------------------------------------------===//
 // Figure 7 and Figure 9 single-step checks (run once at startup; they
 // print PASS/FAIL lines before the benchmark table).
 //===----------------------------------------------------------------------===//
@@ -194,8 +244,26 @@ int main(int Argc, char **Argv) {
   bool Fig7 = checkFigure7(), Fig9 = checkFigure9();
   std::printf("Figure 7 single rule firing : %s\n", Fig7 ? "PASS" : "FAIL");
   std::printf("Figure 9 two-cube pipeline  : %s\n", Fig9 ? "PASS" : "FAIL");
-  benchmark::Initialize(&Argc, Argv);
+
+  // Default to a short measurement window: the microbenchmarks here track
+  // order-of-magnitude trends, not nanosecond precision, and the BENCH
+  // trajectory cares about total harness wall time. An explicit
+  // --benchmark_min_time on the command line still wins.
+  std::vector<char *> Args(Argv, Argv + Argc);
+  // Plain-double spelling: older google-benchmark releases reject the
+  // suffixed "0.05s" form.
+  char MinTime[] = "--benchmark_min_time=0.05";
+  bool HasMinTime = false;
+  for (char *A : Args)
+    if (std::string_view(A).rfind("--benchmark_min_time", 0) == 0)
+      HasMinTime = true;
+  if (!HasMinTime)
+    Args.push_back(MinTime);
+  int BenchArgc = static_cast<int>(Args.size());
+  benchmark::Initialize(&BenchArgc, Args.data());
   benchmark::RunSpecifiedBenchmarks();
+
+  runSaturationStress(Report);
   Report.top().add("figure7_pass", Fig7).add("figure9_pass", Fig9);
   return Report.write() && Fig7 && Fig9 ? 0 : 1;
 }

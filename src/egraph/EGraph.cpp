@@ -33,6 +33,10 @@ EClassId EGraph::add(ENode Node) {
     eclassMut(Kid).Parents.emplace_back(Node, Id);
   Classes.push_back(std::move(C));
   assert(Classes.size() == UF.size() && "class table out of sync");
+  ++LiveClasses;
+  ++LiveNodes;
+  OpIndex[Node.Operator].push_back(Id);
+  touch(Id);
   Memo.emplace(std::move(Node), Id);
   modify(Id);
   return UF.find(Id);
@@ -66,6 +70,12 @@ std::pair<EClassId, bool> EGraph::merge(EClassId A, EClassId B) {
   for (auto &P : Loser->Parents)
     Root.Parents.push_back(std::move(P));
   bool DataChanged = joinData(Root.Data, Loser->Data);
+
+  // The loser's op-index entries stay put: B now find()s to A, which owns
+  // the loser's nodes, so each entry still names a class containing its
+  // head. Stamp the winner so incremental searches revisit the union.
+  --LiveClasses;
+  touch(A);
 
   Worklist.push_back(A);
   if (DataChanged)
@@ -127,6 +137,9 @@ void EGraph::repair(EClassId Id) {
     AnalysisData New = makeData(PNode);
     EClass &Parent = *Classes[PCanon];
     if (joinData(Parent.Data, New)) {
+      // Data changes can flip rule guards (isConst etc.), so they must
+      // make the class visible to incremental searches.
+      touch(PCanon);
       modify(PCanon);
       Worklist.push_back(PCanon);
     }
@@ -149,6 +162,8 @@ void EGraph::repair(EClassId Id) {
     if (NodeSet.insert(Canon).second)
       NewNodes.push_back(std::move(Canon));
   }
+  assert(LiveNodes >= C2.Nodes.size() - NewNodes.size());
+  LiveNodes -= C2.Nodes.size() - NewNodes.size();
   C2.Nodes = std::move(NewNodes);
 }
 
@@ -160,20 +175,54 @@ std::vector<EClassId> EGraph::classIds() const {
   return Ids;
 }
 
-size_t EGraph::numClasses() const {
-  size_t N = 0;
-  for (const auto &C : Classes)
-    if (C)
-      ++N;
-  return N;
+const std::vector<EClassId> &EGraph::classesWithOp(const Op &O) const {
+  static const std::vector<EClassId> Empty;
+  auto It = OpIndex.find(O);
+  if (It == OpIndex.end())
+    return Empty;
+  // Compact in place: canonicalize, sort, dedupe. Entries never need to be
+  // filtered out — a class only ever gains heads (merge unions node sets;
+  // repair dedup keeps one copy of each node) — so after canonicalization
+  // every id names a class containing the head.
+  std::vector<EClassId> &Ids = It->second;
+  for (EClassId &Id : Ids)
+    Id = UF.find(Id);
+  std::sort(Ids.begin(), Ids.end());
+  Ids.erase(std::unique(Ids.begin(), Ids.end()), Ids.end());
+  return Ids;
 }
 
-size_t EGraph::numNodes() const {
-  size_t N = 0;
-  for (const auto &C : Classes)
-    if (C)
-      N += C->Nodes.size();
-  return N;
+std::vector<EClassId> EGraph::takeDirtySince(uint64_t Since) const {
+  assert(!isDirty() && "dirty query on an unrebuilt graph");
+  // Seed with the touch-log suffix after Since (gens are strictly
+  // increasing, so the boundary is a binary search), then close upward
+  // through parent pointers: any ancestor can root a match consuming the
+  // change.
+  std::vector<EClassId> Stack;
+  std::unordered_set<EClassId> InSet;
+  auto First = std::upper_bound(
+      DirtyLog.begin(), DirtyLog.end(), Since,
+      [](uint64_t S, const std::pair<uint64_t, EClassId> &E) {
+        return S < E.first;
+      });
+  for (auto It = First; It != DirtyLog.end(); ++It) {
+    EClassId Canon = UF.find(It->second);
+    if (InSet.insert(Canon).second)
+      Stack.push_back(Canon);
+  }
+  while (!Stack.empty()) {
+    EClassId Id = Stack.back();
+    Stack.pop_back();
+    for (const auto &[PNode, PClass] : eclass(Id).Parents) {
+      (void)PNode;
+      EClassId PCanon = UF.find(PClass);
+      if (InSet.insert(PCanon).second)
+        Stack.push_back(PCanon);
+    }
+  }
+  std::vector<EClassId> Out(InSet.begin(), InSet.end());
+  std::sort(Out.begin(), Out.end());
+  return Out;
 }
 
 std::optional<EClassId> EGraph::lookup(const ENode &Node) const {
@@ -184,45 +233,75 @@ std::optional<EClassId> EGraph::lookup(const ENode &Node) const {
 }
 
 bool EGraph::representsTerm(EClassId Id, const TermPtr &T) const {
+  TermMemo Cache;
+  return representsTermRec(Id, T, Cache);
+}
+
+bool EGraph::representsTermRec(EClassId Id, const TermPtr &T,
+                               TermMemo &Cache) const {
+  Id = UF.find(Id);
+  auto &PerClass = Cache[Id];
+  auto Hit = PerClass.find(T.get());
+  if (Hit != PerClass.end())
+    return Hit->second;
+  bool Result = false;
   const EClass &C = eclass(Id);
   for (const ENode &N : C.Nodes) {
     if (N.Operator != T->op() || N.Children.size() != T->numChildren())
       continue;
     bool AllMatch = true;
     for (size_t I = 0; I < N.Children.size(); ++I) {
-      if (!representsTerm(N.Children[I], T->child(I))) {
+      if (!representsTermRec(N.Children[I], T->child(I), Cache)) {
         AllMatch = false;
         break;
       }
     }
-    if (AllMatch)
-      return true;
+    if (AllMatch) {
+      Result = true;
+      break;
+    }
   }
-  return false;
+  Cache[Id].emplace(T.get(), Result);
+  return Result;
 }
 
 bool EGraph::representsTermApprox(EClassId Id, const TermPtr &T,
                                   double Eps) const {
+  TermMemo Cache;
+  return representsTermApproxRec(Id, T, Eps, Cache);
+}
+
+bool EGraph::representsTermApproxRec(EClassId Id, const TermPtr &T,
+                                     double Eps, TermMemo &Cache) const {
+  Id = UF.find(Id);
   if (T->kind() == OpKind::Float || T->kind() == OpKind::Int) {
     const AnalysisData &D = data(Id);
     return D.NumConst &&
            std::fabs(*D.NumConst - T->op().numericValue()) <= Eps;
   }
+  auto &PerClass = Cache[Id];
+  auto Hit = PerClass.find(T.get());
+  if (Hit != PerClass.end())
+    return Hit->second;
+  bool Result = false;
   const EClass &C = eclass(Id);
   for (const ENode &N : C.Nodes) {
     if (N.Operator != T->op() || N.Children.size() != T->numChildren())
       continue;
     bool AllMatch = true;
     for (size_t I = 0; I < N.Children.size(); ++I) {
-      if (!representsTermApprox(N.Children[I], T->child(I), Eps)) {
+      if (!representsTermApproxRec(N.Children[I], T->child(I), Eps, Cache)) {
         AllMatch = false;
         break;
       }
     }
-    if (AllMatch)
-      return true;
+    if (AllMatch) {
+      Result = true;
+      break;
+    }
   }
-  return false;
+  Cache[Id].emplace(T.get(), Result);
+  return Result;
 }
 
 AnalysisData EGraph::makeData(const ENode &Node) const {
@@ -324,6 +403,9 @@ void EGraph::modify(EClassId Id) {
   // Insert the leaf directly into this class (bypassing add(), which would
   // create a fresh class).
   Classes[Id]->Nodes.push_back(Leaf);
+  ++LiveNodes;
+  OpIndex[Leaf.Operator].push_back(Id);
+  touch(Id);
   Memo.emplace(std::move(Leaf), Id);
 }
 
@@ -376,6 +458,48 @@ std::string EGraph::checkInvariants() const {
         }
       }
     }
+  }
+
+  // 3. The operator-head index agrees with a full rescan: for every Op,
+  //    the canonicalized index bucket is exactly the set of classes
+  //    containing a node with that head. (Read-only: buckets are
+  //    canonicalized into scratch sets, not compacted in place.)
+  std::unordered_map<Op, std::unordered_set<EClassId>> Rescan;
+  size_t RescanClasses = 0, RescanNodes = 0;
+  for (EClassId Id : classIds()) {
+    ++RescanClasses;
+    RescanNodes += eclass(Id).Nodes.size();
+    for (const ENode &N : eclass(Id).Nodes)
+      Rescan[N.Operator].insert(Id);
+  }
+  for (const auto &[O, Ids] : OpIndex) {
+    std::unordered_set<EClassId> Canon;
+    for (EClassId Id : Ids)
+      Canon.insert(UF.find(Id));
+    auto RescanIt = Rescan.find(O);
+    const std::unordered_set<EClassId> Want =
+        RescanIt == Rescan.end() ? std::unordered_set<EClassId>{}
+                                 : RescanIt->second;
+    if (Canon != Want) {
+      Os << "op-index for " << O.str() << " holds " << Canon.size()
+         << " classes but a rescan finds " << Want.size();
+      return Os.str();
+    }
+  }
+  for (const auto &[O, Want] : Rescan)
+    if (OpIndex.find(O) == OpIndex.end() && !Want.empty()) {
+      Os << "op-index missing bucket for " << O.str();
+      return Os.str();
+    }
+
+  // 4. The O(1) counters agree with a rescan.
+  if (LiveClasses != RescanClasses) {
+    Os << "class counter " << LiveClasses << " != rescan " << RescanClasses;
+    return Os.str();
+  }
+  if (LiveNodes != RescanNodes) {
+    Os << "node counter " << LiveNodes << " != rescan " << RescanNodes;
+    return Os.str();
   }
   return "";
 }

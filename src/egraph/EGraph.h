@@ -13,6 +13,15 @@
 /// same numeric constant knows that constant, which the affine-collapsing
 /// rewrites and the arithmetic function solvers rely on.
 ///
+/// Two structures support the indexed, incremental e-matching engine
+/// (egg's classes_by_op / E-morphic's operator indexing):
+///
+///  * an operator-head index mapping each Op to the canonical classes
+///    containing an e-node with that head (classesWithOp()), and
+///  * a generation counter stamping every class-touching mutation, so the
+///    Runner can restrict a rule's search to classes in which a new match
+///    could have appeared since the rule last searched (takeDirtySince()).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SHRINKRAY_EGRAPH_EGRAPH_H
@@ -89,11 +98,33 @@ public:
   /// All canonical class ids, in increasing id order (deterministic).
   std::vector<EClassId> classIds() const;
 
-  /// Number of live (canonical) classes.
-  size_t numClasses() const;
+  /// Number of live (canonical) classes. O(1): maintained across
+  /// add/merge rather than rescanned.
+  size_t numClasses() const { return LiveClasses; }
 
-  /// Total number of e-nodes across live classes.
-  size_t numNodes() const;
+  /// Total number of e-nodes across live classes. O(1): maintained across
+  /// add/merge/rebuild rather than rescanned.
+  size_t numNodes() const { return LiveNodes; }
+
+  /// Canonical classes containing at least one e-node whose head operator
+  /// is \p O, in increasing id order (deterministic). The returned
+  /// reference is valid until the next graph mutation. Amortized cheap:
+  /// the underlying bucket is compacted (canonicalized, deduped) in place
+  /// on access.
+  const std::vector<EClassId> &classesWithOp(const Op &O) const;
+
+  /// Monotonic mutation counter. Every event that could enable a new
+  /// pattern match — class creation, node insertion, merge, analysis
+  /// change — bumps it and stamps the touched class. Never decreases.
+  uint64_t generation() const { return Gen; }
+
+  /// Canonical ids of every class in which a new match could be rooted by
+  /// mutations after generation \p Since: classes touched since then,
+  /// closed upward through parent pointers (a match rooted at C consumes
+  /// nodes of C's descendants, so a change deep in the graph can create a
+  /// match arbitrarily far above it). Ascending id order. Requires a
+  /// clean graph. Cost is proportional to the closure, not graph size.
+  std::vector<EClassId> takeDirtySince(uint64_t Since) const;
 
   /// Canonicalizes an e-node's children.
   ENode canonicalize(const ENode &Node) const;
@@ -112,8 +143,9 @@ public:
   std::string dump() const;
 
   /// Validates the e-graph's internal invariants (canonical hash-consing,
-  /// congruence closure, parent-pointer consistency). Returns an empty
-  /// string when everything holds, else a description of the first
+  /// congruence closure, parent-pointer consistency, operator-index
+  /// agreement with a full rescan, and counter accuracy). Returns an
+  /// empty string when everything holds, else a description of the first
   /// violation. Requires a clean graph (rebuild() first). Intended for
   /// tests and debugging; O(nodes * arity).
   std::string checkInvariants() const;
@@ -124,6 +156,27 @@ private:
   std::vector<std::unique_ptr<EClass>> Classes;
   std::unordered_map<ENode, EClassId, ENodeHash> Memo;
   std::vector<EClassId> Worklist;
+
+  /// Operator-head index: Op -> class ids owning an e-node with that head.
+  /// Entries are appended on insertion and never eagerly removed; a merge
+  /// leaves the loser's ids in place (they still find() to the winner, and
+  /// the winner inherits the loser's nodes, so every entry stays truthful).
+  /// classesWithOp() compacts buckets lazily. mutable: compaction is a
+  /// cache-maintenance detail of a logically const query.
+  mutable std::unordered_map<Op, std::vector<EClassId>> OpIndex;
+
+  /// Append-only log of (generation, touched class id), gens strictly
+  /// increasing. Ids are canonical at touch time; a later merge re-logs
+  /// the winner, and a loser's stale entry still find()s into the merged
+  /// class, so replaying a suffix never loses a touch.
+  std::vector<std::pair<uint64_t, EClassId>> DirtyLog;
+  uint64_t Gen = 0;
+
+  size_t LiveClasses = 0;
+  size_t LiveNodes = 0;
+
+  /// Logs a touch of \p Id (must be canonical) at a fresh generation.
+  void touch(EClassId Id) { DirtyLog.emplace_back(++Gen, Id); }
 
   EClass &eclassMut(EClassId Id) {
     EClass *C = Classes[UF.find(Id)].get();
@@ -142,6 +195,16 @@ private:
   void modify(EClassId Id);
 
   void repair(EClassId Id);
+
+  /// Memo key for representsTerm*: (canonical class, term node identity).
+  /// Shared subterms (same Term object) are checked once per class, which
+  /// keeps DAG-shaped terms linear instead of exponential.
+  using TermMemo =
+      std::unordered_map<uint64_t, std::unordered_map<const Term *, bool>>;
+
+  bool representsTermRec(EClassId Id, const TermPtr &T, TermMemo &Memo) const;
+  bool representsTermApproxRec(EClassId Id, const TermPtr &T, double Eps,
+                               TermMemo &Memo) const;
 };
 
 } // namespace shrinkray

@@ -11,6 +11,14 @@
 /// instantiate their right-hand side under that substitution and merge it
 /// with `c` (paper Sec. 3.1).
 ///
+/// Each pattern is compiled once into a flat instruction program (the shape
+/// of egg's machine.rs): Bind scans a class for nodes with a given head and
+/// writes their children into registers, Compare enforces nonlinear
+/// variables. An explicit-stack VM executes the program with zero per-match
+/// heap allocation, backtracking over Bind choice points. Whole-graph
+/// search seeds its candidate classes from the e-graph's operator-head
+/// index instead of scanning every class.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SHRINKRAY_EGRAPH_PATTERN_H
@@ -62,6 +70,70 @@ private:
   std::vector<std::pair<Symbol, EClassId>> Bindings;
 };
 
+/// One instruction of a compiled match program. Registers hold e-class
+/// ids; register 0 is the root class the match is attempted in.
+struct MatchInstr {
+  enum class Kind : uint8_t {
+    /// Scan the class in register In for e-nodes with head Operator and
+    /// Arity children; for each, write the children into registers
+    /// Out..Out+Arity-1 and continue (a backtracking choice point).
+    Bind,
+    /// Fail unless registers In and Out name the same e-class (nonlinear
+    /// occurrence of a pattern variable).
+    Compare,
+  };
+
+  Kind K;
+  uint16_t In = 0;
+  uint16_t Out = 0;
+  uint16_t Arity = 0;
+  Op Operator{OpKind::Empty}; // Bind only
+
+  static MatchInstr bind(Op O, uint16_t In, uint16_t Out, uint16_t Arity) {
+    MatchInstr I{Kind::Bind};
+    I.In = In;
+    I.Out = Out;
+    I.Arity = Arity;
+    I.Operator = std::move(O);
+    return I;
+  }
+  static MatchInstr compare(uint16_t A, uint16_t B) {
+    MatchInstr I{Kind::Compare};
+    I.In = A;
+    I.Out = B;
+    return I;
+  }
+
+private:
+  explicit MatchInstr(Kind K) : K(K) {}
+};
+
+/// A pattern compiled to a register machine. Built once per Pattern (rule
+/// construction time); run per candidate class with no heap allocation
+/// beyond the output substitutions.
+class MatchProgram {
+public:
+  /// Compiles the pattern term \p Root (left-to-right depth-first, so
+  /// matches are produced in the same order as the recursive reference
+  /// matcher).
+  explicit MatchProgram(const TermPtr &Root);
+
+  /// Runs the program rooted at \p Root, appending one Subst per match.
+  void run(const EGraph &G, EClassId Root, std::vector<Subst> &Out) const;
+
+  size_t numInstrs() const { return Instrs.size(); }
+  size_t numRegs() const { return NumRegs; }
+
+private:
+  std::vector<MatchInstr> Instrs;
+  /// Pattern variables and the register holding their binding, in
+  /// first-occurrence order (matches Pattern::vars()).
+  std::vector<std::pair<Symbol, uint16_t>> VarRegs;
+  uint16_t NumRegs = 1;
+
+  void compile(const TermPtr &Pat, uint16_t Reg);
+};
+
 /// A compiled pattern: a term tree in which PatVar leaves are variables.
 class Pattern {
 public:
@@ -77,18 +149,27 @@ public:
   /// The distinct pattern variables, in first-occurrence order.
   const std::vector<Symbol> &vars() const { return Vars; }
 
-  /// All matches of this pattern rooted at class \p Root.
+  /// All matches of this pattern rooted at class \p Root (compiled VM).
   std::vector<Subst> matchClass(const EGraph &G, EClassId Root) const;
 
+  /// Reference implementation of matchClass: the recursive CPS
+  /// backtracking matcher the VM replaced. Kept for differential testing
+  /// (the engine's equivalence suite runs both on every rule); slower —
+  /// allocates a std::function continuation chain per node visited.
+  std::vector<Subst> matchClassReference(const EGraph &G,
+                                         EClassId Root) const;
+
   /// All matches anywhere in the graph: (root class, substitution) pairs.
+  /// Candidate roots are seeded from the graph's operator-head index, so
+  /// cost scales with classes containing the root operator, not with
+  /// graph size.
   std::vector<std::pair<EClassId, Subst>> search(const EGraph &G) const;
 
-  /// The operator kind at the pattern root. Asserts the root is not a
-  /// pattern variable (true of every rewrite in the database); used to
-  /// restrict search to classes containing a node of that kind.
-  OpKind rootKind() const {
+  /// The operator at the pattern root (head index key). Asserts the root
+  /// is not a pattern variable (true of every rewrite in the database).
+  const Op &rootOp() const {
     assert(Root->kind() != OpKind::PatVar && "var-rooted pattern");
-    return Root->kind();
+    return Root->op();
   }
 
   /// Like search(), but only scans \p Candidates (classes known to contain
@@ -103,10 +184,9 @@ public:
 private:
   TermPtr Root;
   std::vector<Symbol> Vars;
+  MatchProgram Prog;
 
   static void collectVars(const TermPtr &T, std::vector<Symbol> &Out);
-  static void matchRec(const EGraph &G, const TermPtr &Pat, EClassId Class,
-                       Subst &Current, std::vector<Subst> &Out);
 };
 
 } // namespace shrinkray

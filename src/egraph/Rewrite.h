@@ -49,11 +49,13 @@ public:
   const std::string &name() const { return Name; }
   const Pattern &lhs() const { return Lhs; }
 
-  /// All current matches of the left-hand side (after guards).
+  /// All current matches of the left-hand side (after guards). Seeds
+  /// candidate roots from the e-graph's operator-head index.
   std::vector<std::pair<EClassId, Subst>> search(const EGraph &G) const;
 
-  /// Like search(), scanning only \p Candidates (classes containing the
-  /// pattern's root operator kind); used by the Runner's kind index.
+  /// Like search(), scanning only \p Candidates (e.g. the operator-head
+  /// index restricted to dirty classes, as the Runner's incremental
+  /// scheduler does).
   std::vector<std::pair<EClassId, Subst>>
   searchIn(const EGraph &G, const std::vector<EClassId> &Candidates) const;
 

@@ -2,70 +2,132 @@
 
 #include "egraph/Runner.h"
 
-#include <array>
+#include <algorithm>
 #include <chrono>
+#include <unordered_map>
 
 using namespace shrinkray;
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point T0) {
+  return std::chrono::duration<double>(Clock::now() - T0).count();
+}
+
+} // namespace
+
 RunnerReport Runner::run(EGraph &G, const std::vector<Rewrite> &Rules) const {
-  using Clock = std::chrono::steady_clock;
   const auto Start = Clock::now();
-  auto elapsed = [&] {
-    return std::chrono::duration<double>(Clock::now() - Start).count();
-  };
+  auto elapsed = [&] { return secondsSince(Start); };
 
   RunnerReport Report;
+  Report.Rules.resize(Rules.size());
+  for (size_t R = 0; R < Rules.size(); ++R)
+    Report.Rules[R].Name = Rules[R].name();
+
   // Backoff state per rule: banned-until iteration and current ban length.
   std::vector<size_t> BannedUntil(Rules.size(), 0);
   std::vector<size_t> BanLength(Rules.size(), Limits.BanLengthIters);
 
+  // Incremental-search state per rule: the graph generation as of the
+  // rule's last search whose matches were applied. Matches found before
+  // that generation have been applied already (applying is idempotent), so
+  // later searches only need classes dirtied since. A search discarded by
+  // the match-limit backoff does NOT advance the cursor: dirtiness is
+  // monotone, so the discarded matches are re-found when the ban expires.
+  std::vector<uint64_t> LastSearchGen(Rules.size(), 0);
+  std::vector<char> EverSearched(Rules.size(), 0);
+
   G.rebuild();
   for (size_t Iter = 0; Iter < Limits.IterLimit; ++Iter) {
+    const auto IterStart = Clock::now();
     IterationStats Stats;
     size_t NodesBefore = G.numNodes();
 
-    // Index classes by the operator kinds they contain so each rule only
-    // scans classes that can possibly match its root.
-    std::array<std::vector<EClassId>, NumOpKinds> KindIndex;
-    for (EClassId Id : G.classIds()) {
-      uint64_t SeenMask = 0;
-      for (const ENode &N : G.eclass(Id).Nodes) {
-        uint64_t Bit = uint64_t(1) << static_cast<unsigned>(N.kind());
-        if (SeenMask & Bit)
-          continue;
-        SeenMask |= Bit;
-        KindIndex[static_cast<unsigned>(N.kind())].push_back(Id);
-      }
-    }
+    // Dirty closures are identical for every rule sharing a search cursor
+    // (the common case: all non-banned rules advanced together last
+    // iteration), so compute each distinct closure once per iteration.
+    std::unordered_map<uint64_t, std::vector<EClassId>> DirtyByGen;
+    auto dirtySince = [&](uint64_t Gen) -> const std::vector<EClassId> & {
+      auto It = DirtyByGen.find(Gen);
+      if (It == DirtyByGen.end())
+        It = DirtyByGen.emplace(Gen, G.takeDirtySince(Gen)).first;
+      return It->second;
+    };
 
     // Phase 1: search all rules against a consistent graph snapshot.
     std::vector<std::vector<std::pair<EClassId, Subst>>> AllMatches(
         Rules.size());
+    std::vector<char> SearchedNow(Rules.size(), 0);
     for (size_t R = 0; R < Rules.size(); ++R) {
       if (BannedUntil[R] > Iter)
         continue;
-      unsigned RootKind =
-          static_cast<unsigned>(Rules[R].lhs().rootKind());
-      AllMatches[R] = Rules[R].searchIn(G, KindIndex[RootKind]);
+      RuleStats &RS = Report.Rules[R];
+      const auto SearchStart = Clock::now();
+      const std::vector<EClassId> &Cands =
+          G.classesWithOp(Rules[R].lhs().rootOp());
+      if (!EverSearched[R]) {
+        AllMatches[R] = Rules[R].searchIn(G, Cands);
+        ++RS.FullSearches;
+      } else {
+        const std::vector<EClassId> &Dirty = dirtySince(LastSearchGen[R]);
+        if (Dirty.size() * 2 >= G.numClasses()) {
+          // Most of the graph changed; the set intersection would not
+          // prune enough to pay for itself.
+          AllMatches[R] = Rules[R].searchIn(G, Cands);
+          ++RS.FullSearches;
+        } else {
+          // Both lists are sorted ascending; scan only dirty candidates.
+          std::vector<EClassId> Filtered;
+          std::set_intersection(Cands.begin(), Cands.end(), Dirty.begin(),
+                                Dirty.end(), std::back_inserter(Filtered));
+          AllMatches[R] = Rules[R].searchIn(G, Filtered);
+          ++RS.IncrementalSearches;
+        }
+      }
+      RS.SearchSec += secondsSince(SearchStart);
+      RS.Matches += AllMatches[R].size();
       Stats.Matches += AllMatches[R].size();
+      SearchedNow[R] = 1;
       if (AllMatches[R].size() > Limits.MatchLimit) {
         // Explosive rule: skip it this iteration and ban it for a while,
         // doubling the ban each time (exponential backoff).
         BannedUntil[R] = Iter + BanLength[R];
         BanLength[R] *= 2;
         AllMatches[R].clear();
+        SearchedNow[R] = 0; // discarded: keep the cursor where it was
       }
     }
 
-    // Phase 2: apply everything, then restore invariants once.
+    // Searches ran against an unmodified graph, so one generation stamp
+    // covers them all; everything the applies below touch is newer.
+    const uint64_t GenAfterSearch = G.generation();
     for (size_t R = 0; R < Rules.size(); ++R)
+      if (SearchedNow[R]) {
+        LastSearchGen[R] = GenAfterSearch;
+        EverSearched[R] = 1;
+      }
+
+    // Phase 2: apply everything, then restore invariants once.
+    for (size_t R = 0; R < Rules.size(); ++R) {
+      if (AllMatches[R].empty())
+        continue;
+      RuleStats &RS = Report.Rules[R];
+      const auto ApplyStart = Clock::now();
       for (const auto &[Root, S] : AllMatches[R])
-        if (Rules[R].apply(G, Root, S))
+        if (Rules[R].apply(G, Root, S)) {
           ++Stats.Applied;
+          ++RS.Applied;
+        }
+      RS.ApplySec += secondsSince(ApplyStart);
+    }
     G.rebuild();
 
     Stats.Nodes = G.numNodes();
     Stats.Classes = G.numClasses();
+    Stats.Seconds = secondsSince(IterStart);
     Report.Iterations.push_back(Stats);
 
     bool Changed = Stats.Applied > 0 || Stats.Nodes != NodesBefore;

@@ -11,6 +11,15 @@
 /// bounding iterative search). A backoff scheduler keeps explosive rules
 /// (e.g. associativity) from starving the rest.
 ///
+/// Search is incremental after the first iteration: each rule records the
+/// graph generation of its last applied search, and subsequent searches
+/// scan only the classes the e-graph reports dirty since then (touched
+/// classes plus their ancestor closure — see EGraph::takeDirtySince),
+/// intersected with the operator-head index for the rule's root. When the
+/// dirty closure covers most of the graph the Runner falls back to a plain
+/// indexed search, which costs the same and skips the set bookkeeping.
+/// Saturation cost is therefore proportional to change, not graph size.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SHRINKRAY_EGRAPH_RUNNER_H
@@ -38,16 +47,30 @@ enum class StopReason { Saturated, IterLimit, NodeLimit, TimeLimit };
 
 /// Per-iteration statistics.
 struct IterationStats {
-  size_t Applied = 0; ///< matches that changed the graph
-  size_t Matches = 0; ///< total matches found
-  size_t Nodes = 0;   ///< e-nodes after the iteration
-  size_t Classes = 0; ///< e-classes after the iteration
+  size_t Applied = 0;   ///< matches that changed the graph
+  size_t Matches = 0;   ///< total matches found
+  size_t Nodes = 0;     ///< e-nodes after the iteration
+  size_t Classes = 0;   ///< e-classes after the iteration
+  double Seconds = 0.0; ///< wall time of this iteration (search+apply+rebuild)
+};
+
+/// Per-rule statistics accumulated across the whole run, so regressions in
+/// a single rule's search or apply cost are visible in bench JSON.
+struct RuleStats {
+  std::string Name;
+  double SearchSec = 0.0;         ///< total time searching this rule
+  double ApplySec = 0.0;          ///< total time applying its matches
+  size_t Matches = 0;             ///< matches found (incl. re-found)
+  size_t Applied = 0;             ///< matches that changed the graph
+  size_t FullSearches = 0;        ///< searches over all indexed candidates
+  size_t IncrementalSearches = 0; ///< searches restricted to dirty classes
 };
 
 /// Result of a saturation run.
 struct RunnerReport {
   StopReason Stop = StopReason::Saturated;
   std::vector<IterationStats> Iterations;
+  std::vector<RuleStats> Rules;
   double Seconds = 0.0;
 
   size_t numIterations() const { return Iterations.size(); }

@@ -54,6 +54,8 @@ SynthesisResult Synthesizer::synthesize(const TermPtr &FlatCsg) const {
     // spine is worth solving: the shorter ones are strict sub-lists whose
     // structure the full solution subsumes, while genuinely partial
     // repetition (e.g. Figure 16) lives in *different* fold classes.
+    // search() seeds its candidates from the operator-head index, so this
+    // scan is proportional to fold sites rather than graph size.
     std::map<EClassId, std::pair<EClassId, size_t>> BestPerFold;
     for (const auto &[FoldClass, S] : FoldPattern.search(G)) {
       EClassId ListClass = G.find(S[ListVar]);

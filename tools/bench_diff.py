@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Compare freshly-generated BENCH_*.json files against a committed baseline.
+
+Each BENCH file carries a top-level ``time_sec`` plus optional per-row
+series. Rows are matched by their identity fields (everything that is not
+a measurement), and a row whose ``time_sec`` grew by more than the
+threshold factor counts as a regression. Missing rows and missing files
+are reported too (a bench that stopped emitting a row would otherwise
+pass silently).
+
+Intended use (CI runs this as a non-blocking report job):
+
+    python3 tools/bench_diff.py \
+        --baseline-dir . --current-dir fresh-bench \
+        --benches scaling,table1 --threshold 1.3
+
+Exit status: 0 when no regression, 1 on any regression or missing data,
+2 on usage errors.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Fields that *identify* a row (which workload/config it measures). Every
+# other field is an output — a measurement or a derived result — and may
+# legitimately drift without breaking row matching (e.g. a new rewrite
+# rule changing saturated e-node counts must still compare times, not
+# report the row missing).
+IDENTITY_FIELDS = ("family", "n", "model", "kind", "iter", "rule")
+
+
+def row_key(row):
+    """Identity of a row: its identity fields, order-insensitive."""
+    key = tuple((k, str(row[k])) for k in IDENTITY_FIELDS if k in row)
+    if key:
+        return key
+    # No known identity field: fall back to position-free full identity
+    # minus the one field always treated as a measurement.
+    return tuple(sorted((k, str(v)) for k, v in row.items() if k != "time_sec"))
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def compare_bench(name, baseline, current, threshold, min_time, report):
+    ok = True
+    base_time = baseline.get("time_sec")
+    cur_time = current.get("time_sec")
+    if base_time and cur_time:
+        ratio = cur_time / base_time if base_time > 0 else float("inf")
+        line = f"{name}: total {base_time:.3f}s -> {cur_time:.3f}s ({ratio:.2f}x)"
+        # The total is informational only: it includes fixed harness
+        # overhead, so per-row times below are what gate.
+        report.append("  " + line)
+
+    base_rows = {row_key(r): r for r in baseline.get("rows", [])}
+    cur_rows = {row_key(r): r for r in current.get("rows", [])}
+    for key, base_row in base_rows.items():
+        cur_row = cur_rows.get(key)
+        ident = ", ".join(f"{k}={v}" for k, v in key)
+        if cur_row is None:
+            report.append(f"  MISSING ROW [{name}] {ident}")
+            ok = False
+            continue
+        bt, ct = base_row.get("time_sec"), cur_row.get("time_sec")
+        if bt is None or ct is None:
+            continue
+        if bt <= 0:
+            continue
+        if bt < min_time and ct < min_time:
+            # Sub-floor rows are pure timer noise; growth ratios on them
+            # would flap CI.
+            continue
+        ratio = ct / bt
+        if ratio > threshold:
+            report.append(
+                f"  REGRESSION [{name}] {ident}: "
+                f"{bt:.4f}s -> {ct:.4f}s ({ratio:.2f}x > {threshold:.2f}x)"
+            )
+            ok = False
+    return ok
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline-dir", required=True)
+    ap.add_argument("--current-dir", required=True)
+    ap.add_argument(
+        "--benches",
+        default="scaling,table1",
+        help="comma-separated bench names (BENCH_<name>.json)",
+    )
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=1.3,
+        help="max allowed per-row time_sec growth factor",
+    )
+    ap.add_argument(
+        "--min-time",
+        type=float,
+        default=0.05,
+        help="ignore rows whose time stays below this many seconds",
+    )
+    args = ap.parse_args()
+
+    ok = True
+    report = []
+    for name in [b.strip() for b in args.benches.split(",") if b.strip()]:
+        fname = f"BENCH_{name}.json"
+        base_path = os.path.join(args.baseline_dir, fname)
+        cur_path = os.path.join(args.current_dir, fname)
+        if not os.path.exists(base_path):
+            report.append(f"  NO BASELINE for {name} ({base_path})")
+            ok = False
+            continue
+        if not os.path.exists(cur_path):
+            report.append(f"  NO CURRENT RESULT for {name} ({cur_path})")
+            ok = False
+            continue
+        try:
+            ok &= compare_bench(
+                name,
+                load(base_path),
+                load(cur_path),
+                args.threshold,
+                args.min_time,
+                report,
+            )
+        except (json.JSONDecodeError, OSError) as e:
+            report.append(f"  UNREADABLE {name}: {e}")
+            ok = False
+
+    print("bench_diff report (threshold {:.2f}x):".format(args.threshold))
+    for line in report:
+        print(line)
+    print("RESULT:", "OK" if ok else "REGRESSION")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
