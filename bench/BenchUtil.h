@@ -197,6 +197,12 @@ struct MeasuredRow {
   std::string Loops = "-";
   std::string Forms = "-";
   double TimeSec = 0.0;
+  // Phase breakdown of TimeSec (see SynthesisStats): saturation, solver
+  // inference, and extraction are reported separately so a regression in
+  // one engine is attributable from the BENCH_*.json rows alone.
+  double RewriteSec = 0.0;
+  double SolveSec = 0.0;
+  double ExtractSec = 0.0;
   size_t Rank = 0; ///< 1-based rank of first structured program; 0 = none
   bool Sound = false;
 };
@@ -213,6 +219,9 @@ inline MeasuredRow measureModel(const TermPtr &Input,
 
   SynthesisResult R = Synthesizer(Opts).synthesize(Input);
   Row.TimeSec = R.Stats.Seconds;
+  Row.RewriteSec = R.Stats.RewriteSeconds;
+  Row.SolveSec = R.Stats.SolveSeconds;
+  Row.ExtractSec = R.Stats.ExtractSeconds;
   if (R.Programs.empty())
     return Row;
 
@@ -248,6 +257,9 @@ inline void addMeasuredFields(JsonObject &O, const MeasuredRow &Row) {
       .add("loops", Row.Loops)
       .add("forms", Row.Forms)
       .add("time_sec", Row.TimeSec)
+      .add("rewrite_sec", Row.RewriteSec)
+      .add("solve_sec", Row.SolveSec)
+      .add("extract_sec", Row.ExtractSec)
       .add("rank", Row.Rank)
       .add("sound", Row.Sound);
 }

@@ -80,6 +80,9 @@ int main() {
         Row.Loops = LoopRow.Loops + " (rl)";
         Row.Forms = LoopRow.Forms;
         Row.TimeSec += LoopRow.TimeSec;
+        Row.RewriteSec += LoopRow.RewriteSec;
+        Row.SolveSec += LoopRow.SolveSec;
+        Row.ExtractSec += LoopRow.ExtractSec;
       }
     }
     printMeasured(M.Name + (M.Provenance == 'T' ? " [T]" : " [I]"), Row);

@@ -47,6 +47,8 @@ bool shrinkray::termEquals(const TermPtr &A, const TermPtr &B) {
 
 bool shrinkray::termApproxEquals(const TermPtr &A, const TermPtr &B,
                                  double Eps) {
+  if (A.get() == B.get())
+    return true; // reflexive: |x - x| = 0 <= Eps for any Eps >= 0
   // Numeric literals compare by value, across the Int/Float divide.
   bool ANum = A->kind() == OpKind::Float || A->kind() == OpKind::Int;
   bool BNum = B->kind() == OpKind::Float || B->kind() == OpKind::Int;
@@ -70,6 +72,30 @@ size_t shrinkray::termHash(const TermPtr &T) {
   for (const TermPtr &Kid : T->children())
     hashCombine(Seed, termHash(Kid));
   return Seed;
+}
+
+size_t shrinkray::termValueHashNode(const Op &O,
+                                    const std::vector<size_t> &ChildHashes) {
+  OpKind K = O.kind();
+  if (K == OpKind::Int || K == OpKind::Float) {
+    // One spelling-independent hash for both literal kinds, mirroring the
+    // numeric-leaf case of termApproxEquals.
+    size_t Seed = std::hash<uint8_t>()(0xD1); // literal tag, kind-agnostic
+    hashCombine(Seed, hashDouble(O.numericValue()));
+    return Seed;
+  }
+  size_t Seed = O.hash();
+  for (size_t H : ChildHashes)
+    hashCombine(Seed, H);
+  return Seed;
+}
+
+size_t shrinkray::termValueHash(const TermPtr &T) {
+  std::vector<size_t> Kids;
+  Kids.reserve(T->numChildren());
+  for (const TermPtr &Kid : T->children())
+    Kids.push_back(termValueHash(Kid));
+  return termValueHashNode(T->op(), Kids);
 }
 
 bool shrinkray::isFlatCsg(const TermPtr &T) {

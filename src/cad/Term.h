@@ -78,6 +78,19 @@ bool termApproxEquals(const TermPtr &A, const TermPtr &B, double Eps);
 /// Structural hash consistent with termEquals.
 size_t termHash(const TermPtr &T);
 
+/// Hash consistent with termApproxEquals(A, B, 0.0): numeric literals hash
+/// by value across the Int/Float divide, so Int(5) and Float(5.0) collide.
+/// Used to bucket candidate programs for value-level deduplication (k-best
+/// extraction must not report Int/Float respellings as program diversity).
+size_t termValueHash(const TermPtr &T);
+
+/// Incremental form of termValueHash: the hash of a node with operator \p O
+/// whose children hash to \p ChildHashes. termValueHash(makeTerm(O, Kids))
+/// == termValueHashNode(O, map(termValueHash, Kids)), so callers that
+/// already know child hashes can hash a combined term in O(arity) instead
+/// of rewalking the tree.
+size_t termValueHashNode(const Op &O, const std::vector<size_t> &ChildHashes);
+
 /// True if the term is *flat CSG*: only primitives, affine transforms with
 /// literal Vec3 arguments, booleans, and External leaves (no lists, loops,
 /// functions, or variables). This is the expected input of the synthesizer.

@@ -192,6 +192,37 @@ const std::vector<EClassId> &EGraph::classesWithOp(const Op &O) const {
   return Ids;
 }
 
+const std::vector<std::pair<ENode, EClassId>> &
+EGraph::canonicalParents(EClassId Id) const {
+  assert(!isDirty() && "parent query on an unrebuilt graph");
+  // Compact in place: canonicalize each entry and drop duplicates, keeping
+  // first-occurrence order (deterministic given the append order). On a
+  // clean graph the memo holds canonical forms, so rewriting an entry to
+  // its canonical form is exactly what the next repair() would do anyway.
+  // A generation stamp skips recompaction while the graph is unchanged
+  // (extraction queries each class's parents once per cost improvement).
+  EClass &C = *Classes[UF.find(Id)];
+  std::vector<std::pair<ENode, EClassId>> &Ps = C.Parents;
+  if (C.ParentsCompactedGen == Gen)
+    return Ps;
+  C.ParentsCompactedGen = Gen;
+  std::unordered_map<ENode, EClassId, ENodeHash> Seen;
+  size_t Keep = 0;
+  for (auto &[PNode, PClass] : Ps) {
+    ENode Canon = canonicalize(PNode);
+    EClassId PCanon = UF.find(PClass);
+    auto [It, Inserted] = Seen.emplace(Canon, PCanon);
+    if (!Inserted) {
+      assert(It->second == PCanon &&
+             "congruent parents in distinct classes on a clean graph");
+      continue;
+    }
+    Ps[Keep++] = {std::move(Canon), PCanon};
+  }
+  Ps.erase(Ps.begin() + static_cast<std::ptrdiff_t>(Keep), Ps.end());
+  return Ps;
+}
+
 std::vector<EClassId> EGraph::takeDirtySince(uint64_t Since) const {
   assert(!isDirty() && "dirty query on an unrebuilt graph");
   // Seed with the touch-log suffix after Since (gens are strictly
@@ -460,7 +491,36 @@ std::string EGraph::checkInvariants() const {
     }
   }
 
-  // 3. The operator-head index agrees with a full rescan: for every Op,
+  // 3. Every stored parent entry is truthful: its canonical form is a live
+  //    e-node of the recorded (canonical) parent class, and that node still
+  //    references the child class the entry is stored under. Entries may be
+  //    stale forms, but canonicalization must repair them — this is what
+  //    canonicalParents() and the extraction engine's cost propagation rely
+  //    on.
+  for (EClassId Id : classIds()) {
+    for (const auto &[PNode, PClass] : eclass(Id).Parents) {
+      ENode Canon = canonicalize(PNode);
+      auto MemoIt = Memo.find(Canon);
+      if (MemoIt == Memo.end() || UF.find(MemoIt->second) != UF.find(PClass)) {
+        Os << "class " << Id << " holds a parent entry whose node is not "
+           << "hash-consed to class " << UF.find(PClass);
+        return Os.str();
+      }
+      bool RefersBack = false;
+      for (EClassId Kid : Canon.Children)
+        if (UF.find(Kid) == Id) {
+          RefersBack = true;
+          break;
+        }
+      if (!RefersBack) {
+        Os << "class " << Id << " holds a parent entry for a node of class "
+           << UF.find(PClass) << " that no longer references it";
+        return Os.str();
+      }
+    }
+  }
+
+  // 4. The operator-head index agrees with a full rescan: for every Op,
   //    the canonicalized index bucket is exactly the set of classes
   //    containing a node with that head. (Read-only: buckets are
   //    canonicalized into scratch sets, not compacted in place.)
@@ -492,7 +552,7 @@ std::string EGraph::checkInvariants() const {
       return Os.str();
     }
 
-  // 4. The O(1) counters agree with a rescan.
+  // 5. The O(1) counters agree with a rescan.
   if (LiveClasses != RescanClasses) {
     Os << "class counter " << LiveClasses << " != rescan " << RescanClasses;
     return Os.str();

@@ -1,47 +1,336 @@
 //===-- egraph/Extract.cpp - Cost-based extraction ------------------------===//
+//
+// Two engines per problem (one-best, k-best): a worklist engine that
+// propagates cost derivations upward along the e-graph's parent index, and
+// a whole-graph fixed-point oracle used by the differential tests. The
+// engines share the deterministic tie-break (and, for k-best, the per-class
+// lazy combination), so on any graph they produce bit-identical results;
+// they differ in *scheduling*, which is where incrementality bugs would
+// live.
+//
+//===----------------------------------------------------------------------===//
 
 #include "egraph/Extract.h"
 
-#include <algorithm>
+#include <cassert>
 #include <queue>
-#include <set>
+#include <unordered_set>
 
 using namespace shrinkray;
 
 //===----------------------------------------------------------------------===//
-// One-best extraction
+// Shared helpers: deterministic orders, node costing, lazy k-best combine
 //===----------------------------------------------------------------------===//
 
-Extractor::Extractor(const EGraph &G, const CostFn &Fn) : G(G) {
-  assert(!G.isDirty() && "extraction on a dirty e-graph");
-  // Fixpoint: costs only decrease and are bounded below, so this terminates.
-  bool Changed = true;
-  while (Changed) {
-    Changed = false;
-    for (EClassId Id : G.classIds()) {
-      for (const ENode &Node : G.eclass(Id).Nodes) {
-        std::vector<double> Kids;
-        Kids.reserve(Node.Children.size());
-        bool AllKnown = true;
-        for (EClassId Kid : Node.Children) {
-          auto It = Costs.find(G.find(Kid));
-          if (It == Costs.end()) {
-            AllKnown = false;
-            break;
-          }
-          Kids.push_back(It->second);
-        }
-        if (!AllKnown)
-          continue;
-        double C = Fn.cost(Node.Operator, Kids);
-        auto It = Costs.find(Id);
-        if (It == Costs.end() || C < It->second) {
-          Costs[Id] = C;
-          Choices.insert_or_assign(Id, Node);
-          Changed = true;
-        }
+namespace {
+
+/// Three-way total order on operators (kind, then payload). Symbol payloads
+/// compare by spelling so the order does not depend on interning order.
+int opCompare(const Op &A, const Op &B) {
+  if (A.kind() != B.kind())
+    return A.kind() < B.kind() ? -1 : 1;
+  switch (A.kind()) {
+  case OpKind::Int:
+    if (A.intValue() != B.intValue())
+      return A.intValue() < B.intValue() ? -1 : 1;
+    return 0;
+  case OpKind::Float:
+    if (A.floatValue() != B.floatValue())
+      return A.floatValue() < B.floatValue() ? -1 : 1;
+    return 0;
+  case OpKind::Var:
+  case OpKind::External:
+  case OpKind::OpRef:
+  case OpKind::PatVar:
+    return A.symbol().str().compare(B.symbol().str());
+  default:
+    return 0;
+  }
+}
+
+/// Three-way total order on e-nodes under the current union-find: operator,
+/// then arity, then canonical child ids left to right. Distinct canonical
+/// nodes never compare equal, so using this to break cost ties makes the
+/// extraction fixpoint unique — the property the differential tests pin.
+int enodeCompare(const EGraph &G, const ENode &A, const ENode &B) {
+  if (int C = opCompare(A.Operator, B.Operator))
+    return C;
+  if (A.Children.size() != B.Children.size())
+    return A.Children.size() < B.Children.size() ? -1 : 1;
+  for (size_t I = 0; I < A.Children.size(); ++I) {
+    EClassId CA = G.find(A.Children[I]), CB = G.find(B.Children[I]);
+    if (CA != CB)
+      return CA < CB ? -1 : 1;
+  }
+  return 0;
+}
+
+/// Cost of \p Node given the per-class cost table, or nullopt while any
+/// child is still unextractable. Children are resolved through find(), so
+/// stale node forms cost correctly.
+std::optional<double> nodeCost(const EGraph &G, const CostFn &Fn,
+                               const std::unordered_map<EClassId, double> &Costs,
+                               const ENode &Node) {
+  std::vector<double> Kids;
+  Kids.reserve(Node.Children.size());
+  for (EClassId Kid : Node.Children) {
+    auto It = Costs.find(G.find(Kid));
+    if (It == Costs.end())
+      return std::nullopt;
+    Kids.push_back(It->second);
+  }
+  return Fn.cost(Node.Operator, Kids);
+}
+
+using KTable = std::unordered_map<EClassId, std::vector<ExtractCandidate>>;
+
+/// The candidate list of \p Id, or nullptr while the class has none.
+const std::vector<ExtractCandidate> *candList(const KTable &Table,
+                                              const EGraph &G, EClassId Id) {
+  auto It = Table.find(G.find(Id));
+  if (It == Table.end() || It->second.empty())
+    return nullptr;
+  return &It->second;
+}
+
+/// Recomputes the up-to-k cheapest distinct candidates of class \p Id from
+/// its children's current candidate lists: one best-first frontier heap
+/// over *all* the class's e-nodes ("cube pruning" / lazy k-shortest paths),
+/// popping combinations in ascending (cost, node index, combination index)
+/// order and deduplicating by value hash, so the k-th distinct program is
+/// found after O(k) pops plus duplicates instead of materializing k
+/// candidates per node and merging. Deterministic: the heap order is a
+/// total order, so ties resolve identically regardless of caller.
+std::vector<ExtractCandidate> combineClass(const EGraph &G, const CostFn &Fn,
+                                           size_t K, EClassId Id,
+                                           const KTable &Table) {
+  const std::vector<ENode> &Nodes = G.eclass(Id).Nodes;
+
+  // Resolved child candidate lists, flattened across nodes; a node with a
+  // candidate-less child stays unusable this round (Arity == NotUsable).
+  constexpr size_t NotUsable = static_cast<size_t>(-1);
+  std::vector<const std::vector<ExtractCandidate> *> ChildLists;
+  std::vector<std::pair<size_t, size_t>> Span(Nodes.size()); // offset, arity
+  for (size_t N = 0; N < Nodes.size(); ++N) {
+    const ENode &Node = Nodes[N];
+    Span[N] = {ChildLists.size(), Node.Children.size()};
+    for (EClassId Kid : Node.Children) {
+      const std::vector<ExtractCandidate> *L = candList(Table, G, Kid);
+      if (!L) {
+        ChildLists.resize(Span[N].first);
+        Span[N].second = NotUsable;
+        break;
       }
+      ChildLists.push_back(L);
     }
+  }
+  auto kidCand = [&](size_t N, size_t I,
+                     const std::vector<size_t> &Ix) -> const ExtractCandidate & {
+    return (*ChildLists[Span[N].first + I])[Ix[I]];
+  };
+
+  std::vector<double> CostScratch;
+  auto comboCost = [&](size_t N, const std::vector<size_t> &Ix) {
+    CostScratch.resize(Ix.size());
+    for (size_t I = 0; I < Ix.size(); ++I)
+      CostScratch[I] = kidCand(N, I, Ix).Cost;
+    return Fn.cost(Nodes[N].Operator, CostScratch);
+  };
+
+  // Frontier items carry the position they last bumped; successors only
+  // bump positions >= Bump, which generates every combination exactly once
+  // (canonical non-decreasing bump order) without a visited set.
+  struct Item {
+    double Cost;
+    size_t NodeIdx;
+    size_t Bump;
+    std::vector<size_t> Ix;
+  };
+  auto Later = [](const Item &A, const Item &B) {
+    if (A.Cost != B.Cost)
+      return A.Cost > B.Cost;
+    if (A.NodeIdx != B.NodeIdx)
+      return A.NodeIdx > B.NodeIdx;
+    return A.Ix > B.Ix;
+  };
+  std::priority_queue<Item, std::vector<Item>, decltype(Later)> Frontier(
+      Later);
+  for (size_t N = 0; N < Nodes.size(); ++N) {
+    if (Span[N].second == NotUsable)
+      continue;
+    std::vector<size_t> First(Span[N].second, 0);
+    double Cost = comboCost(N, First);
+    Frontier.push({Cost, N, 0, std::move(First)});
+  }
+
+  // A popped combination equals an accepted candidate iff the operator and
+  // the child candidate terms match under value equality — checkable
+  // without materializing the term, so duplicates cost no allocation. The
+  // hash prefilter keeps the scan to (expected) zero term comparisons.
+  auto isDupOf = [&](const ExtractCandidate &U, const Op &O, size_t N,
+                     const std::vector<size_t> &Ix) {
+    const Term &B = *U.T;
+    bool ONum = O.kind() == OpKind::Int || O.kind() == OpKind::Float;
+    bool BNum = B.kind() == OpKind::Int || B.kind() == OpKind::Float;
+    if (ONum || BNum)
+      return ONum && BNum && O.numericValue() == B.op().numericValue();
+    if (O != B.op() || B.numChildren() != Ix.size())
+      return false;
+    for (size_t I = 0; I < Ix.size(); ++I)
+      if (!termApproxEquals(kidCand(N, I, Ix).T, B.child(I), 0.0))
+        return false;
+    return true;
+  };
+
+  std::vector<ExtractCandidate> Out;
+  std::vector<size_t> KidHashes;
+  while (!Frontier.empty() && Out.size() < K) {
+    Item Top = Frontier.top();
+    Frontier.pop();
+    const ENode &Node = Nodes[Top.NodeIdx];
+    const size_t Arity = Top.Ix.size();
+
+    // O(arity): child candidates carry their value hashes already.
+    KidHashes.resize(Arity);
+    for (size_t I = 0; I < Arity; ++I)
+      KidHashes[I] = kidCand(Top.NodeIdx, I, Top.Ix).ValueHash;
+    size_t Hash = termValueHashNode(Node.Operator, KidHashes);
+    bool Dup = false;
+    for (const ExtractCandidate &U : Out)
+      if (U.ValueHash == Hash &&
+          isDupOf(U, Node.Operator, Top.NodeIdx, Top.Ix)) {
+        Dup = true;
+        break;
+      }
+    if (!Dup) {
+      std::vector<TermPtr> Kids(Arity);
+      for (size_t I = 0; I < Arity; ++I)
+        Kids[I] = kidCand(Top.NodeIdx, I, Top.Ix).T;
+      Out.push_back(
+          {Top.Cost, makeTerm(Node.Operator, std::move(Kids)), Hash});
+    }
+
+    // Expand successors: bump one child index at a time, never before the
+    // position this item bumped.
+    for (size_t I = Top.Bump; I < Arity; ++I) {
+      if (Top.Ix[I] + 1 >= ChildLists[Span[Top.NodeIdx].first + I]->size())
+        continue;
+      std::vector<size_t> Next = Top.Ix;
+      ++Next[I];
+      Frontier.push({comboCost(Top.NodeIdx, Next), Top.NodeIdx, I,
+                     std::move(Next)});
+    }
+  }
+  return Out;
+}
+
+/// Exact equality of candidate lists (cost, hash, then term structure).
+bool listsEqual(const std::vector<ExtractCandidate> &A,
+                const std::vector<ExtractCandidate> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I < A.size(); ++I)
+    if (A[I].Cost != B[I].Cost || A[I].ValueHash != B[I].ValueHash ||
+        !termEquals(A[I].T, B[I].T))
+      return false;
+  return true;
+}
+
+/// Shared build of the chosen-term tree from a choice table.
+TermPtr buildFromChoices(
+    const EGraph &G, const std::unordered_map<EClassId, ENode> &Choices,
+    std::unordered_map<EClassId, TermPtr> &Memo, EClassId Id) {
+  Id = G.find(Id);
+  auto Hit = Memo.find(Id);
+  if (Hit != Memo.end())
+    return Hit->second;
+  auto It = Choices.find(Id);
+  assert(It != Choices.end() && "extracting from a class with no finite cost");
+  const ENode &Node = It->second;
+  std::vector<TermPtr> Kids;
+  Kids.reserve(Node.Children.size());
+  for (EClassId Kid : Node.Children)
+    Kids.push_back(buildFromChoices(G, Choices, Memo, Kid));
+  TermPtr T = makeTerm(Node.Operator, std::move(Kids));
+  Memo.emplace(Id, T);
+  return T;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// One-best extraction: worklist engine
+//===----------------------------------------------------------------------===//
+
+Extractor::Extractor(const EGraph &G, const CostFn &Fn) : G(G), Fn(Fn) {
+  assert(!G.isDirty() && "extraction on a dirty e-graph");
+  deriveFrom(G.classIds());
+  SyncedGen = G.generation();
+}
+
+void Extractor::refresh() {
+  assert(!G.isDirty() && "refresh on a dirty e-graph");
+  if (G.generation() == SyncedGen)
+    return;
+  // Only classes in the dirty closure can change their best term: a class
+  // outside it gained no nodes, joined no merge, and every child of its
+  // nodes kept its cost (else that child would be dirty and this class in
+  // its ancestor closure).
+  deriveFrom(G.takeDirtySince(SyncedGen));
+  SyncedGen = G.generation();
+  BuildMemo.clear();
+}
+
+bool Extractor::relax(EClassId Id, const ENode &Node) {
+  std::optional<double> C = nodeCost(G, Fn, Costs, Node);
+  if (!C)
+    return false;
+  auto It = Costs.find(Id);
+  bool Better = It == Costs.end() || *C < It->second;
+  if (!Better && *C == It->second) {
+    // Equal cost: adopt the candidate only if it is the smaller e-node, so
+    // the final choice is the unique (cost, node) minimum. Stored forms may
+    // be stale; enodeCompare resolves children through find().
+    if (enodeCompare(G, Node, Choices.at(Id)) < 0) {
+      Choices.insert_or_assign(Id, Node);
+      return true;
+    }
+    return false;
+  }
+  if (!Better)
+    return false;
+  Costs[Id] = *C;
+  Choices.insert_or_assign(Id, Node);
+  return true;
+}
+
+void Extractor::deriveFrom(const std::vector<EClassId> &Seeds) {
+  std::vector<EClassId> WL;
+  std::unordered_set<EClassId> InWL;
+  auto push = [&](EClassId Id) {
+    if (InWL.insert(Id).second)
+      WL.push_back(Id);
+  };
+
+  // Re-derive every seed from its full node set (a seed may have gained
+  // nodes, absorbed a merge partner, or had a child's cost change), then
+  // propagate improvements upward: a cost change at a class can only be
+  // observed by the e-nodes that reference it, i.e. its parent index.
+  for (EClassId S : Seeds) {
+    EClassId Id = G.find(S);
+    bool Improved = false;
+    for (const ENode &Node : G.eclass(Id).Nodes)
+      Improved = relax(Id, Node) || Improved;
+    if (Improved)
+      push(Id);
+  }
+  while (!WL.empty()) {
+    EClassId Id = WL.back();
+    WL.pop_back();
+    InWL.erase(Id);
+    for (const auto &[PNode, PClass] : G.canonicalParents(Id))
+      if (relax(PClass, PNode))
+        push(PClass);
   }
 }
 
@@ -54,36 +343,158 @@ std::optional<double> Extractor::bestCost(EClassId Id) const {
 
 TermPtr Extractor::extract(EClassId Id) const { return build(G.find(Id)); }
 
+const ENode *Extractor::choiceNode(EClassId Id) const {
+  auto It = Choices.find(G.find(Id));
+  return It == Choices.end() ? nullptr : &It->second;
+}
+
 TermPtr Extractor::build(EClassId Id) const {
-  Id = G.find(Id);
-  auto Memo = BuildMemo.find(Id);
-  if (Memo != BuildMemo.end())
-    return Memo->second;
-  auto It = Choices.find(Id);
-  assert(It != Choices.end() && "extracting from a class with no finite cost");
-  const ENode &Node = It->second;
-  std::vector<TermPtr> Kids;
-  Kids.reserve(Node.Children.size());
-  for (EClassId Kid : Node.Children)
-    Kids.push_back(build(Kid));
-  TermPtr T = makeTerm(Node.Operator, std::move(Kids));
-  BuildMemo.emplace(Id, T);
-  return T;
+  return buildFromChoices(G, Choices, BuildMemo, Id);
 }
 
 //===----------------------------------------------------------------------===//
-// Top-k extraction
+// One-best extraction: fixed-point oracle
+//===----------------------------------------------------------------------===//
+
+ReferenceExtractor::ReferenceExtractor(const EGraph &G, const CostFn &Fn)
+    : G(G) {
+  assert(!G.isDirty() && "extraction on a dirty e-graph");
+  // Fixpoint: (cost, choice) pairs only decrease and are bounded below, so
+  // this terminates. Same tie-break as the worklist engine, so the unique
+  // fixpoint — and therefore every extracted term — is bit-identical.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (EClassId Id : G.classIds()) {
+      for (const ENode &Node : G.eclass(Id).Nodes) {
+        std::optional<double> C = nodeCost(G, Fn, Costs, Node);
+        if (!C)
+          continue;
+        auto It = Costs.find(Id);
+        bool Better = It == Costs.end() || *C < It->second;
+        if (!Better && *C == It->second) {
+          ENode Canon = G.canonicalize(Node);
+          if (enodeCompare(G, Canon, Choices.at(Id)) < 0) {
+            Choices.insert_or_assign(Id, std::move(Canon));
+            Changed = true;
+          }
+          continue;
+        }
+        if (!Better)
+          continue;
+        Costs[Id] = *C;
+        Choices.insert_or_assign(Id, G.canonicalize(Node));
+        Changed = true;
+      }
+    }
+  }
+}
+
+std::optional<double> ReferenceExtractor::bestCost(EClassId Id) const {
+  auto It = Costs.find(G.find(Id));
+  if (It == Costs.end())
+    return std::nullopt;
+  return It->second;
+}
+
+TermPtr ReferenceExtractor::extract(EClassId Id) const {
+  return build(G.find(Id));
+}
+
+const ENode *ReferenceExtractor::choiceNode(EClassId Id) const {
+  auto It = Choices.find(G.find(Id));
+  return It == Choices.end() ? nullptr : &It->second;
+}
+
+TermPtr ReferenceExtractor::build(EClassId Id) const {
+  return buildFromChoices(G, Choices, BuildMemo, Id);
+}
+
+//===----------------------------------------------------------------------===//
+// Top-k extraction: worklist engine
 //===----------------------------------------------------------------------===//
 
 KBestExtractor::KBestExtractor(const EGraph &G, const CostFn &Fn, size_t K)
+    : G(G), Fn(Fn), K(K), OneBest(G, Fn) {
+  assert(!G.isDirty() && "extraction on a dirty e-graph");
+  assert(K >= 1 && "k must be positive");
+  deriveFrom(G.classIds());
+  SyncedGen = G.generation();
+}
+
+void KBestExtractor::refresh() {
+  assert(!G.isDirty() && "refresh on a dirty e-graph");
+  if (G.generation() == SyncedGen)
+    return;
+  OneBest.refresh(); // priorities and extractability must be current first
+  deriveFrom(G.takeDirtySince(SyncedGen));
+  SyncedGen = G.generation();
+}
+
+void KBestExtractor::deriveFrom(const std::vector<EClassId> &Seeds) {
+  // Priority worklist keyed by one-best cost: under a monotone cost
+  // function children are (weakly) cheaper than parents, so in the common
+  // acyclic case every class is combined exactly once, after its children.
+  using PQItem = std::pair<double, EClassId>;
+  std::priority_queue<PQItem, std::vector<PQItem>, std::greater<PQItem>> PQ;
+  std::unordered_set<EClassId> Pending;
+  auto enqueue = [&](EClassId Id) {
+    Id = G.find(Id);
+    std::optional<double> C = OneBest.bestCost(Id);
+    if (!C)
+      return; // no finite cost => can never have candidates
+    if (Pending.insert(Id).second)
+      PQ.emplace(*C, Id);
+  };
+  for (EClassId Id : Seeds)
+    enqueue(Id);
+
+  // Candidate lists only improve and are bounded, so this terminates; the
+  // pop cap mirrors the oracle's pass cap — sheer paranoia for graphs
+  // where k-truncation feedback through cycles could oscillate.
+  size_t PopsLeft = (4 * G.numClasses() + 8) * (K + 2);
+  while (!PQ.empty() && PopsLeft-- > 0) {
+    EClassId Id = PQ.top().second;
+    PQ.pop();
+    if (!Pending.erase(Id))
+      continue; // duplicate queue entry; already recombined
+    std::vector<ExtractCandidate> New = combineClass(G, Fn, K, Id, Table);
+    std::vector<ExtractCandidate> &Slot = Table[Id];
+    if (listsEqual(Slot, New))
+      continue;
+    Slot = std::move(New);
+    // A changed list is observable only through referencing e-nodes; the
+    // parent index is exactly that edge set (self-loops included).
+    for (const auto &[PNode, PClass] : G.canonicalParents(Id))
+      enqueue(PClass);
+  }
+  assert(PQ.empty() && "k-best worklist hit its paranoia cap");
+}
+
+std::vector<RankedTerm> KBestExtractor::extract(EClassId Id) const {
+  std::vector<RankedTerm> Out;
+  auto It = Table.find(G.find(Id));
+  if (It == Table.end())
+    return Out;
+  for (const ExtractCandidate &C : It->second)
+    Out.push_back({C.T, C.Cost});
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Top-k extraction: fixed-point oracle
+//===----------------------------------------------------------------------===//
+
+ReferenceKBestExtractor::ReferenceKBestExtractor(const EGraph &G,
+                                                 const CostFn &Fn, size_t K)
     : G(G), Fn(Fn), K(K) {
   assert(!G.isDirty() && "extraction on a dirty e-graph");
   assert(K >= 1 && "k must be positive");
   // Process classes in ascending one-best-cost order: under a monotone cost
-  // function a node's children are strictly cheaper than the node, so a
-  // single ordered pass almost always reaches the fixpoint and the loop
-  // below exits after the confirming pass.
-  Extractor OneBest(G, Fn);
+  // function a node's children are cheaper than the node, so a single
+  // ordered pass almost always reaches the fixpoint and the loop below
+  // exits after the confirming pass.
+  ReferenceExtractor OneBest(G, Fn);
   ClassOrder = G.classIds();
   std::stable_sort(ClassOrder.begin(), ClassOrder.end(),
                    [&](EClassId A, EClassId B) {
@@ -100,118 +511,25 @@ KBestExtractor::KBestExtractor(const EGraph &G, const CostFn &Fn, size_t K)
       break;
 }
 
-/// Best-first enumeration of child-candidate combinations for one e-node
-/// ("cube pruning" / lazy k-best). Requires all children to have candidates.
-std::vector<KBestExtractor::Candidate>
-KBestExtractor::combineNode(const ENode &Node) const {
-  const size_t Arity = Node.Children.size();
-  std::vector<const std::vector<Candidate> *> Lists(Arity);
-  for (size_t I = 0; I < Arity; ++I) {
-    auto It = Table.find(G.find(Node.Children[I]));
-    if (It == Table.end() || It->second.empty())
-      return {};
-    Lists[I] = &It->second;
-  }
-
-  auto comboCost = [&](const std::vector<size_t> &Ix) {
-    std::vector<double> Kids(Arity);
-    for (size_t I = 0; I < Arity; ++I)
-      Kids[I] = (*Lists[I])[Ix[I]].Cost;
-    return Fn.cost(Node.Operator, Kids);
-  };
-
-  using HeapItem = std::pair<double, std::vector<size_t>>;
-  auto Greater = [](const HeapItem &A, const HeapItem &B) {
-    return A.first > B.first;
-  };
-  std::priority_queue<HeapItem, std::vector<HeapItem>, decltype(Greater)>
-      Frontier(Greater);
-  std::set<std::vector<size_t>> Visited;
-
-  std::vector<size_t> First(Arity, 0);
-  Frontier.emplace(comboCost(First), First);
-  Visited.insert(std::move(First));
-
-  std::vector<Candidate> Out;
-  while (!Frontier.empty() && Out.size() < K) {
-    auto [Cost, Ix] = Frontier.top();
-    Frontier.pop();
-
-    std::vector<TermPtr> Kids(Arity);
-    for (size_t I = 0; I < Arity; ++I)
-      Kids[I] = (*Lists[I])[Ix[I]].T;
-    Candidate C;
-    C.Cost = Cost;
-    C.T = makeTerm(Node.Operator, std::move(Kids));
-    C.Hash = termHash(C.T);
-    Out.push_back(std::move(C));
-
-    // Expand successors: bump one child index at a time.
-    for (size_t I = 0; I < Arity; ++I) {
-      if (Ix[I] + 1 >= Lists[I]->size())
-        continue;
-      std::vector<size_t> Next = Ix;
-      ++Next[I];
-      if (Visited.insert(Next).second)
-        Frontier.emplace(comboCost(Next), std::move(Next));
-    }
-  }
-  return Out;
-}
-
-bool KBestExtractor::pass() {
+bool ReferenceKBestExtractor::pass() {
   bool Changed = false;
   for (EClassId Id : ClassOrder) {
-    std::vector<Candidate> Merged;
-    for (const ENode &Node : G.eclass(Id).Nodes)
-      for (Candidate &C : combineNode(Node))
-        Merged.push_back(std::move(C));
-    if (Merged.empty())
+    std::vector<ExtractCandidate> New = combineClass(G, Fn, K, Id, Table);
+    std::vector<ExtractCandidate> &Slot = Table[Id];
+    if (listsEqual(Slot, New))
       continue;
-
-    std::stable_sort(Merged.begin(), Merged.end(),
-                     [](const Candidate &A, const Candidate &B) {
-                       return A.Cost < B.Cost;
-                     });
-    // Dedupe, keeping the cheapest. Numeric literals compare by value so
-    // that Int(5) vs Float(5.0) does not masquerade as program diversity.
-    std::vector<Candidate> Unique;
-    for (Candidate &C : Merged) {
-      bool Dup = false;
-      for (const Candidate &U : Unique)
-        if (termApproxEquals(U.T, C.T, 0.0)) {
-          Dup = true;
-          break;
-        }
-      if (!Dup)
-        Unique.push_back(std::move(C));
-      if (Unique.size() == K)
-        break;
-    }
-
-    std::vector<Candidate> &Slot = Table[Id];
-    bool Same = Slot.size() == Unique.size();
-    if (Same)
-      for (size_t I = 0; I < Slot.size(); ++I)
-        if (Slot[I].Cost != Unique[I].Cost || Slot[I].Hash != Unique[I].Hash ||
-            !termEquals(Slot[I].T, Unique[I].T)) {
-          Same = false;
-          break;
-        }
-    if (!Same) {
-      Slot = std::move(Unique);
-      Changed = true;
-    }
+    Slot = std::move(New);
+    Changed = true;
   }
   return Changed;
 }
 
-std::vector<RankedTerm> KBestExtractor::extract(EClassId Id) const {
+std::vector<RankedTerm> ReferenceKBestExtractor::extract(EClassId Id) const {
   std::vector<RankedTerm> Out;
   auto It = Table.find(G.find(Id));
   if (It == Table.end())
     return Out;
-  for (const Candidate &C : It->second)
+  for (const ExtractCandidate &C : It->second)
     Out.push_back({C.T, C.Cost});
   return Out;
 }

@@ -10,6 +10,31 @@
 /// recursively on argument costs; both the default AST-size cost and the
 /// `reward-loops` variant from the evaluation live in synth/Cost.h.
 ///
+/// The engines are *worklist-driven* rather than whole-graph fixed points
+/// (egg treats extraction as a one-pass analysis propagated along parent
+/// edges; E-morphic bounds k-best state per class):
+///
+///  * `Extractor` seeds per-class one-best costs from leaf e-nodes and
+///    relaxes parent e-nodes through EGraph::canonicalParents until no
+///    (cost, choice) pair improves — work proportional to the number of
+///    cost improvements, not to (classes x passes).
+///  * `KBestExtractor` keeps, per class, a bounded list of up to k distinct
+///    candidate programs and recomputes a class only when a child's list
+///    changed, enumerating child-candidate combinations lazily through a
+///    best-first frontier heap (k-shortest-paths style "cube pruning").
+///  * Both engines are incremental across graph mutations: refresh() keys
+///    cached costs on the e-graph's generation-stamped dirty log
+///    (EGraph::takeDirtySince) and re-derives only classes whose best
+///    programs could have changed, so re-extraction after a saturation
+///    round costs time proportional to what the round changed.
+///
+/// Cost ties are broken deterministically (smallest e-node under a fixed
+/// total order wins), which makes extraction a pure function of the graph:
+/// the worklist engines are bit-identical to the `ReferenceExtractor` /
+/// `ReferenceKBestExtractor` fixed-point oracles kept below for
+/// differential testing (the `matchClassReference` pattern from the
+/// e-matching engine).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SHRINKRAY_EGRAPH_EXTRACT_H
@@ -60,10 +85,18 @@ public:
   }
 };
 
-/// One-best extraction: computes, per class, the cheapest representable term.
+/// One-best extraction: computes, per class, the cheapest representable
+/// term by worklist relaxation along the parent index. Construction runs a
+/// full derivation; refresh() incrementally re-derives after mutations.
 class Extractor {
 public:
   Extractor(const EGraph &G, const CostFn &Fn);
+
+  /// Re-derives costs after graph mutations (merges, added nodes, analysis
+  /// changes) at cost proportional to the dirty closure since the last
+  /// derivation. Requires a clean graph. Equivalent to rebuilding the
+  /// extractor from scratch, but incremental.
+  void refresh();
 
   /// Cheapest cost of any term in the class, if one is extractable.
   std::optional<double> bestCost(EClassId Id) const;
@@ -71,9 +104,47 @@ public:
   /// The cheapest term of the class. Asserts that one exists.
   TermPtr extract(EClassId Id) const;
 
+  /// The e-node the class extracts through, or nullptr when the class has
+  /// no finite cost. The stored form may be stale; canonicalize it before
+  /// comparing. Exposed for differential tests.
+  const ENode *choiceNode(EClassId Id) const;
+
 private:
   const EGraph &G;
-  // Indexed by canonical class id.
+  const CostFn &Fn;
+  /// Graph generation the cached costs are synchronized with.
+  uint64_t SyncedGen = 0;
+  // Keyed by canonical class id as of derivation time; superseded keys are
+  // unreachable through find() and simply go stale.
+  std::unordered_map<EClassId, double> Costs;
+  std::unordered_map<EClassId, ENode> Choices;
+  mutable std::unordered_map<EClassId, TermPtr> BuildMemo;
+
+  /// Re-derives (cost, choice) for \p Seeds and propagates improvements
+  /// upward along canonicalParents to the unique fixpoint.
+  void deriveFrom(const std::vector<EClassId> &Seeds);
+
+  /// Evaluates \p Node as a candidate for \p Id; returns true and updates
+  /// the tables when it improves the stored (cost, choice) pair.
+  bool relax(EClassId Id, const ENode &Node);
+
+  TermPtr build(EClassId Id) const;
+};
+
+/// One-best extraction oracle: the naive whole-graph fixed point (sweep all
+/// classes until nothing changes), kept verbatim as a differential-test
+/// oracle for Extractor. Applies the same deterministic tie-break, so its
+/// results are bit-identical to the worklist engine's.
+class ReferenceExtractor {
+public:
+  ReferenceExtractor(const EGraph &G, const CostFn &Fn);
+
+  std::optional<double> bestCost(EClassId Id) const;
+  TermPtr extract(EClassId Id) const;
+  const ENode *choiceNode(EClassId Id) const;
+
+private:
+  const EGraph &G;
   std::unordered_map<EClassId, double> Costs;
   std::unordered_map<EClassId, ENode> Choices;
   mutable std::unordered_map<EClassId, TermPtr> BuildMemo;
@@ -87,30 +158,65 @@ struct RankedTerm {
   double Cost;
 };
 
+/// A candidate program of one e-class: cost, term, and the term's
+/// value-level hash (termValueHash) used for O(1)-expected deduplication.
+struct ExtractCandidate {
+  double Cost = std::numeric_limits<double>::infinity();
+  TermPtr T;
+  size_t ValueHash = 0;
+};
+
 /// Top-k extraction: per class, the k cheapest *distinct* terms (paper
 /// Sec. 5.1: ShrinkRay returns the top-k programs so the user can pick the
-/// parameterization that suits the edit they want to make).
+/// parameterization that suits the edit they want to make). Distinctness is
+/// value-level: Int(5) and Float(5.0) respellings do not count as program
+/// diversity.
+///
+/// Worklist-driven: classes are (re)combined in ascending one-best-cost
+/// order, and a class is revisited only when a child's candidate list
+/// changed. Each recombination enumerates candidates lazily through one
+/// bounded best-first heap over all the class's e-nodes, stopping at the
+/// k-th distinct program. refresh() makes the table incremental across
+/// graph mutations, like Extractor.
 class KBestExtractor {
 public:
   KBestExtractor(const EGraph &G, const CostFn &Fn, size_t K);
+
+  /// Incrementally re-derives candidate lists after graph mutations; see
+  /// Extractor::refresh().
+  void refresh();
 
   /// Up to k cheapest distinct terms of the class, cheapest first.
   std::vector<RankedTerm> extract(EClassId Id) const;
 
 private:
-  struct Candidate {
-    double Cost = std::numeric_limits<double>::infinity();
-    TermPtr T;
-    size_t Hash = 0;
-  };
+  const EGraph &G;
+  const CostFn &Fn;
+  size_t K;
+  Extractor OneBest; ///< processing priority + refresh seed costs
+  uint64_t SyncedGen = 0;
+  std::unordered_map<EClassId, std::vector<ExtractCandidate>> Table;
 
+  void deriveFrom(const std::vector<EClassId> &Seeds);
+};
+
+/// Top-k extraction oracle: whole-graph sweeps to a fixed point (the
+/// original pass() structure), sharing the per-class lazy combination and
+/// hashed deduplication with the worklist engine so the two differ only in
+/// scheduling — the part differential tests need to pin down.
+class ReferenceKBestExtractor {
+public:
+  ReferenceKBestExtractor(const EGraph &G, const CostFn &Fn, size_t K);
+
+  std::vector<RankedTerm> extract(EClassId Id) const;
+
+private:
   const EGraph &G;
   const CostFn &Fn;
   size_t K;
   std::vector<EClassId> ClassOrder; ///< ascending one-best cost
-  std::unordered_map<EClassId, std::vector<Candidate>> Table;
+  std::unordered_map<EClassId, std::vector<ExtractCandidate>> Table;
 
-  std::vector<Candidate> combineNode(const ENode &Node) const;
   bool pass();
 };
 

@@ -1,4 +1,15 @@
 //===-- solvers/ClosedForm.cpp - Fitted closed-form functions -------------===//
+//
+// Part of the ShrinkRay reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implementation of fitted closed forms (paper Sec. 4.1): evaluation for
+/// epsilon-band verification and rendering to LambdaCAD arithmetic terms
+/// over the loop index variable.
+///
+//===----------------------------------------------------------------------===//
 
 #include "solvers/ClosedForm.h"
 

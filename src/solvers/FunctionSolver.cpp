@@ -1,4 +1,17 @@
 //===-- solvers/FunctionSolver.cpp - Arithmetic function inference --------===//
+//
+// Part of the ShrinkRay reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implementation of the arithmetic function solvers (paper Sec. 4.1):
+/// least-squares polynomial fitting with intercept centering and rational
+/// "nicing", the frequency-scan sinusoid solver, and the epsilon-band
+/// verification that gates every fit. See FunctionSolver.h for how this
+/// substitutes for the paper's Z3 queries.
+///
+//===----------------------------------------------------------------------===//
 
 #include "solvers/FunctionSolver.h"
 

@@ -1,4 +1,17 @@
 //===-- synth/Determinize.cpp - List determinization ----------------------===//
+//
+// Part of the ShrinkRay reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implementation of the determinizer (paper Sec. 4.2). Walks each fold
+/// list's Cons spine, enumerates candidate affine decompositions per
+/// element, and intersects them into whole-list ChainDecompositions: one
+/// transform-kind sequence and one base class shared by every element, the
+/// shape the function solvers require.
+///
+//===----------------------------------------------------------------------===//
 
 #include "synth/Determinize.h"
 

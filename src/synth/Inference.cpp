@@ -1,4 +1,17 @@
 //===-- synth/Inference.cpp - Function and loop inference -----------------===//
+//
+// Part of the ShrinkRay reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implementation of function and loop inference (paper Sec. 4 and 5).
+/// Queries the solvers for closed forms over a determinized list's
+/// transform vectors, builds the equivalent Mapi / nested-Fold / irregular
+/// programs, and merges them into the list's e-class so extraction can
+/// choose them.
+///
+//===----------------------------------------------------------------------===//
 
 #include "synth/Inference.h"
 

@@ -1,4 +1,17 @@
 //===-- synth/ListManip.cpp - List manipulation in Fold context -----------===//
+//
+// Part of the ShrinkRay reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implementation of fold-list sorting (paper Sec. 4.3). Computes the
+/// lexicographic element permutation, rebuilds the sorted Cons spine in
+/// the e-graph, and merges the new Fold into the original Fold's class —
+/// sound because union is associative/commutative, and never merged into
+/// the list's own class.
+///
+//===----------------------------------------------------------------------===//
 
 #include "synth/ListManip.h"
 

@@ -51,6 +51,11 @@ struct SynthesisStats {
   size_t ENodes = 0;           ///< final graph size
   size_t EClasses = 0;
   double Seconds = 0.0;        ///< end-to-end wall clock
+  // Per-phase wall clock, summed across main-loop iterations. The three
+  // phases cover nearly all of Seconds; the remainder is graph setup.
+  double RewriteSeconds = 0.0; ///< equality saturation (Runner)
+  double SolveSeconds = 0.0;   ///< determinize + solver inference + sorting
+  double ExtractSeconds = 0.0; ///< extraction engine derive/refresh+extract
 };
 
 /// The top-k programs plus run statistics.

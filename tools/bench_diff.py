@@ -12,7 +12,13 @@ Intended use (CI runs this as a non-blocking report job):
 
     python3 tools/bench_diff.py \
         --baseline-dir . --current-dir fresh-bench \
-        --benches scaling,table1 --threshold 1.3
+        --benches scaling,table1 --threshold 1.3 \
+        --markdown-out "$GITHUB_STEP_SUMMARY"
+
+``--markdown-out`` appends a GitHub-flavored markdown summary (one table
+per bench: baseline vs current time per row, ratio, verdict) to the given
+file — CI points it at the job summary page. See docs/BENCHMARKS.md for
+the full JSON schema and gating semantics.
 
 Exit status: 0 when no regression, 1 on any regression or missing data,
 2 on usage errors.
@@ -46,7 +52,7 @@ def load(path):
         return json.load(f)
 
 
-def compare_bench(name, baseline, current, threshold, min_time, report):
+def compare_bench(name, baseline, current, threshold, min_time, report, md):
     ok = True
     base_time = baseline.get("time_sec")
     cur_time = current.get("time_sec")
@@ -57,6 +63,17 @@ def compare_bench(name, baseline, current, threshold, min_time, report):
         # overhead, so per-row times below are what gate.
         report.append("  " + line)
 
+    md.append(f"### `{name}`")
+    md.append("")
+    md.append("| row | baseline (s) | current (s) | ratio | verdict |")
+    md.append("| --- | ---: | ---: | ---: | --- |")
+    if base_time and cur_time:
+        ratio = cur_time / base_time if base_time > 0 else float("inf")
+        md.append(
+            f"| *total (informational)* | {base_time:.3f} | {cur_time:.3f} "
+            f"| {ratio:.2f}x | |"
+        )
+
     base_rows = {row_key(r): r for r in baseline.get("rows", [])}
     cur_rows = {row_key(r): r for r in current.get("rows", [])}
     for key, base_row in base_rows.items():
@@ -64,16 +81,16 @@ def compare_bench(name, baseline, current, threshold, min_time, report):
         ident = ", ".join(f"{k}={v}" for k, v in key)
         if cur_row is None:
             report.append(f"  MISSING ROW [{name}] {ident}")
+            md.append(f"| {ident} | — | — | — | :x: missing |")
             ok = False
             continue
         bt, ct = base_row.get("time_sec"), cur_row.get("time_sec")
-        if bt is None or ct is None:
-            continue
-        if bt <= 0:
+        if bt is None or ct is None or bt <= 0:
             continue
         if bt < min_time and ct < min_time:
             # Sub-floor rows are pure timer noise; growth ratios on them
             # would flap CI.
+            md.append(f"| {ident} | {bt:.4f} | {ct:.4f} | | below floor |")
             continue
         ratio = ct / bt
         if ratio > threshold:
@@ -81,7 +98,14 @@ def compare_bench(name, baseline, current, threshold, min_time, report):
                 f"  REGRESSION [{name}] {ident}: "
                 f"{bt:.4f}s -> {ct:.4f}s ({ratio:.2f}x > {threshold:.2f}x)"
             )
+            md.append(
+                f"| {ident} | {bt:.4f} | {ct:.4f} | {ratio:.2f}x "
+                f"| :x: regression |"
+            )
             ok = False
+        else:
+            md.append(f"| {ident} | {bt:.4f} | {ct:.4f} | {ratio:.2f}x | ok |")
+    md.append("")
     return ok
 
 
@@ -106,20 +130,29 @@ def main():
         default=0.05,
         help="ignore rows whose time stays below this many seconds",
     )
+    ap.add_argument(
+        "--markdown-out",
+        default=None,
+        help="append a markdown summary (per-bench tables) to this file; "
+        "CI points it at $GITHUB_STEP_SUMMARY",
+    )
     args = ap.parse_args()
 
     ok = True
     report = []
+    md = [f"## Bench regression report (threshold {args.threshold:.2f}x)", ""]
     for name in [b.strip() for b in args.benches.split(",") if b.strip()]:
         fname = f"BENCH_{name}.json"
         base_path = os.path.join(args.baseline_dir, fname)
         cur_path = os.path.join(args.current_dir, fname)
         if not os.path.exists(base_path):
             report.append(f"  NO BASELINE for {name} ({base_path})")
+            md.append(f"- :x: no baseline for `{name}`")
             ok = False
             continue
         if not os.path.exists(cur_path):
             report.append(f"  NO CURRENT RESULT for {name} ({cur_path})")
+            md.append(f"- :x: no current result for `{name}`")
             ok = False
             continue
         try:
@@ -130,15 +163,23 @@ def main():
                 args.threshold,
                 args.min_time,
                 report,
+                md,
             )
         except (json.JSONDecodeError, OSError) as e:
             report.append(f"  UNREADABLE {name}: {e}")
+            md.append(f"- :x: unreadable `{name}`: {e}")
             ok = False
 
     print("bench_diff report (threshold {:.2f}x):".format(args.threshold))
     for line in report:
         print(line)
     print("RESULT:", "OK" if ok else "REGRESSION")
+
+    md.append(f"**Result: {'OK' if ok else 'REGRESSION'}**")
+    md.append("")
+    if args.markdown_out:
+        with open(args.markdown_out, "a") as f:
+            f.write("\n".join(md) + "\n")
     return 0 if ok else 1
 
 
