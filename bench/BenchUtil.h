@@ -203,6 +203,11 @@ struct MeasuredRow {
   double RewriteSec = 0.0;
   double SolveSec = 0.0;
   double ExtractSec = 0.0;
+  // RewriteSec broken down by saturation sub-phase (RunnerReport totals):
+  // compiled-group search, memo-filtered apply, rebuild + log compaction.
+  double RewriteSearchSec = 0.0;
+  double RewriteApplySec = 0.0;
+  double RewriteRebuildSec = 0.0;
   size_t Rank = 0; ///< 1-based rank of first structured program; 0 = none
   bool Sound = false;
 };
@@ -222,6 +227,9 @@ inline MeasuredRow measureModel(const TermPtr &Input,
   Row.RewriteSec = R.Stats.RewriteSeconds;
   Row.SolveSec = R.Stats.SolveSeconds;
   Row.ExtractSec = R.Stats.ExtractSeconds;
+  Row.RewriteSearchSec = R.Stats.RewriteSearchSeconds;
+  Row.RewriteApplySec = R.Stats.RewriteApplySeconds;
+  Row.RewriteRebuildSec = R.Stats.RewriteRebuildSeconds;
   if (R.Programs.empty())
     return Row;
 
@@ -258,6 +266,9 @@ inline void addMeasuredFields(JsonObject &O, const MeasuredRow &Row) {
       .add("forms", Row.Forms)
       .add("time_sec", Row.TimeSec)
       .add("rewrite_sec", Row.RewriteSec)
+      .add("rewrite_search_sec", Row.RewriteSearchSec)
+      .add("rewrite_apply_sec", Row.RewriteApplySec)
+      .add("rewrite_rebuild_sec", Row.RewriteRebuildSec)
       .add("solve_sec", Row.SolveSec)
       .add("extract_sec", Row.ExtractSec)
       .add("rank", Row.Rank)

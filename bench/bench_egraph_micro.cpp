@@ -190,10 +190,14 @@ void runSaturationStress(bench::JsonReport &Report) {
         .add("matches", S->Matches)
         .add("applied", S->Applied)
         .add("full_searches", S->FullSearches)
-        .add("incremental_searches", S->IncrementalSearches);
+        .add("incremental_searches", S->IncrementalSearches)
+        .add("bans", S->Bans);
   Report.top()
       .add("saturation_iters", Run.numIterations())
       .add("saturation_sec", Run.Seconds)
+      .add("saturation_search_sec", Run.SearchSec)
+      .add("saturation_apply_sec", Run.ApplySec)
+      .add("saturation_rebuild_sec", Run.RebuildSec)
       .add("saturation_nodes", G.numNodes());
 }
 

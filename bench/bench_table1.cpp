@@ -83,6 +83,9 @@ int main() {
         Row.RewriteSec += LoopRow.RewriteSec;
         Row.SolveSec += LoopRow.SolveSec;
         Row.ExtractSec += LoopRow.ExtractSec;
+        Row.RewriteSearchSec += LoopRow.RewriteSearchSec;
+        Row.RewriteApplySec += LoopRow.RewriteApplySec;
+        Row.RewriteRebuildSec += LoopRow.RewriteRebuildSec;
       }
     }
     printMeasured(M.Name + (M.Provenance == 'T' ? " [T]" : " [I]"), Row);

@@ -225,6 +225,11 @@ EGraph::canonicalParents(EClassId Id) const {
 
 std::vector<EClassId> EGraph::takeDirtySince(uint64_t Since) const {
   assert(!isDirty() && "dirty query on an unrebuilt graph");
+  // A cursor behind the compaction floor can no longer be answered from
+  // the log; every class is a sound (if maximal) answer. Leased cursors
+  // never land here — compactDirtyLog keeps their suffixes alive.
+  if (Since < DirtyFloor)
+    return classIds();
   // Seed with the touch-log suffix after Since (gens are strictly
   // increasing, so the boundary is a binary search), then close upward
   // through parent pointers: any ancestor can root a match consuming the
@@ -254,6 +259,51 @@ std::vector<EClassId> EGraph::takeDirtySince(uint64_t Since) const {
   std::vector<EClassId> Out(InSet.begin(), InSet.end());
   std::sort(Out.begin(), Out.end());
   return Out;
+}
+
+void EGraph::compactDirtyLog(uint64_t MinLiveGen) {
+  for (const auto &[Lease, Gen_] : DirtyLeases)
+    MinLiveGen = std::min(MinLiveGen, Gen_);
+  if (MinLiveGen <= DirtyFloor)
+    return; // nothing new to drop
+  auto End = std::upper_bound(
+      DirtyLog.begin(), DirtyLog.end(), MinLiveGen,
+      [](uint64_t G_, const std::pair<uint64_t, EClassId> &E) {
+        return G_ < E.first;
+      });
+  DirtyLog.erase(DirtyLog.begin(), End);
+  DirtyFloor = MinLiveGen;
+}
+
+uint64_t EGraph::acquireDirtyLease(uint64_t Gen_) const {
+  uint64_t Lease = NextDirtyLease++;
+  DirtyLeases.emplace(Lease, Gen_);
+  return Lease;
+}
+
+void EGraph::updateDirtyLease(uint64_t Lease, uint64_t Gen_) const {
+  auto It = DirtyLeases.find(Lease);
+  assert(It != DirtyLeases.end() && "unknown dirty lease");
+  assert(It->second <= Gen_ && "dirty lease must advance monotonically");
+  It->second = Gen_;
+}
+
+void EGraph::releaseDirtyLease(uint64_t Lease) const {
+  size_t Erased = DirtyLeases.erase(Lease);
+  (void)Erased;
+  assert(Erased == 1 && "releasing an unknown dirty lease");
+}
+
+void EGraph::prepareForConcurrentReads() const {
+  assert(!isDirty() && "prepare on an unrebuilt graph");
+  if (PreparedGen == Gen)
+    return;
+  // Only the union-find needs quiescing: every write-capable const query
+  // the concurrent readers use bottoms out in find()'s path halving,
+  // which compressAll leaves nothing to do. The op-index and parent-index
+  // compactions stay coordinator-only (see the header contract).
+  UF.compressAll();
+  PreparedGen = Gen;
 }
 
 std::optional<EClassId> EGraph::lookup(const ENode &Node) const {

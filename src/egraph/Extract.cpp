@@ -266,18 +266,26 @@ Extractor::Extractor(const EGraph &G, const CostFn &Fn) : G(G), Fn(Fn) {
   assert(!G.isDirty() && "extraction on a dirty e-graph");
   deriveFrom(G.classIds());
   SyncedGen = G.generation();
+  // The lease keeps the Runner's dirty-log compaction from dropping the
+  // suffix refresh() will request.
+  DirtyLease = G.acquireDirtyLease(SyncedGen);
 }
+
+Extractor::~Extractor() { G.releaseDirtyLease(DirtyLease); }
 
 void Extractor::refresh() {
   assert(!G.isDirty() && "refresh on a dirty e-graph");
-  if (G.generation() == SyncedGen)
+  if (G.generation() == SyncedGen) {
+    G.updateDirtyLease(DirtyLease, SyncedGen);
     return;
+  }
   // Only classes in the dirty closure can change their best term: a class
   // outside it gained no nodes, joined no merge, and every child of its
   // nodes kept its cost (else that child would be dirty and this class in
   // its ancestor closure).
   deriveFrom(G.takeDirtySince(SyncedGen));
   SyncedGen = G.generation();
+  G.updateDirtyLease(DirtyLease, SyncedGen);
   BuildMemo.clear();
 }
 
@@ -420,15 +428,21 @@ KBestExtractor::KBestExtractor(const EGraph &G, const CostFn &Fn, size_t K)
   assert(K >= 1 && "k must be positive");
   deriveFrom(G.classIds());
   SyncedGen = G.generation();
+  DirtyLease = G.acquireDirtyLease(SyncedGen);
 }
+
+KBestExtractor::~KBestExtractor() { G.releaseDirtyLease(DirtyLease); }
 
 void KBestExtractor::refresh() {
   assert(!G.isDirty() && "refresh on a dirty e-graph");
-  if (G.generation() == SyncedGen)
+  if (G.generation() == SyncedGen) {
+    G.updateDirtyLease(DirtyLease, SyncedGen);
     return;
+  }
   OneBest.refresh(); // priorities and extractability must be current first
   deriveFrom(G.takeDirtySince(SyncedGen));
   SyncedGen = G.generation();
+  G.updateDirtyLease(DirtyLease, SyncedGen);
 }
 
 void KBestExtractor::deriveFrom(const std::vector<EClassId> &Seeds) {

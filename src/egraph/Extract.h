@@ -92,6 +92,16 @@ class Extractor {
 public:
   Extractor(const EGraph &G, const CostFn &Fn);
 
+  /// Releases the engine's dirty-log lease (see below). The engine must
+  /// not outlive the graph.
+  ~Extractor();
+
+  // The engine registers a dirty-log lease with the graph (so the
+  // Runner's log compaction preserves the suffix refresh() will read);
+  // copying would double-release it.
+  Extractor(const Extractor &) = delete;
+  Extractor &operator=(const Extractor &) = delete;
+
   /// Re-derives costs after graph mutations (merges, added nodes, analysis
   /// changes) at cost proportional to the dirty closure since the last
   /// derivation. Requires a clean graph. Equivalent to rebuilding the
@@ -114,6 +124,8 @@ private:
   const CostFn &Fn;
   /// Graph generation the cached costs are synchronized with.
   uint64_t SyncedGen = 0;
+  /// Dirty-log lease pinned at SyncedGen (EGraph::acquireDirtyLease).
+  uint64_t DirtyLease = 0;
   // Keyed by canonical class id as of derivation time; superseded keys are
   // unreachable through find() and simply go stale.
   std::unordered_map<EClassId, double> Costs;
@@ -182,6 +194,12 @@ class KBestExtractor {
 public:
   KBestExtractor(const EGraph &G, const CostFn &Fn, size_t K);
 
+  /// Releases the engine's dirty-log lease; see Extractor.
+  ~KBestExtractor();
+
+  KBestExtractor(const KBestExtractor &) = delete;
+  KBestExtractor &operator=(const KBestExtractor &) = delete;
+
   /// Incrementally re-derives candidate lists after graph mutations; see
   /// Extractor::refresh().
   void refresh();
@@ -195,6 +213,7 @@ private:
   size_t K;
   Extractor OneBest; ///< processing priority + refresh seed costs
   uint64_t SyncedGen = 0;
+  uint64_t DirtyLease = 0; ///< see Extractor::DirtyLease
   std::unordered_map<EClassId, std::vector<ExtractCandidate>> Table;
 
   void deriveFrom(const std::vector<EClassId> &Seeds);

@@ -33,41 +33,65 @@
 
 namespace shrinkray {
 
-/// A substitution from pattern variables to e-classes.
+/// A substitution from pattern variables to e-classes. Small linear map
+/// with inline storage: the rule database's patterns bind at most seven
+/// variables, so in the common case a Subst never touches the heap —
+/// which matters because the match VM materializes one per completed
+/// substitution, including the ones a guard immediately rejects.
 class Subst {
 public:
   /// Looks up a binding; asserts that it exists.
   EClassId operator[](Symbol Var) const {
-    for (const auto &[Name, Class] : Bindings)
-      if (Name == Var)
-        return Class;
+    const std::pair<Symbol, EClassId> *B = data();
+    for (uint32_t I = 0; I < Count; ++I)
+      if (B[I].first == Var)
+        return B[I].second;
     assert(false && "unbound pattern variable");
     return 0;
   }
 
   /// Returns the binding for \p Var, or nullopt.
   std::optional<EClassId> get(Symbol Var) const {
-    for (const auto &[Name, Class] : Bindings)
-      if (Name == Var)
-        return Class;
+    const std::pair<Symbol, EClassId> *B = data();
+    for (uint32_t I = 0; I < Count; ++I)
+      if (B[I].first == Var)
+        return B[I].second;
     return std::nullopt;
   }
 
   void bind(Symbol Var, EClassId Class) {
     assert(!get(Var) && "rebinding a pattern variable");
-    Bindings.emplace_back(Var, Class);
+    if (Count < InlineCap && Overflow.empty()) {
+      Inline[Count++] = {Var, Class};
+      return;
+    }
+    if (Overflow.empty())
+      Overflow.assign(Inline, Inline + InlineCap);
+    Overflow.emplace_back(Var, Class);
+    ++Count;
   }
 
   void pop() {
-    assert(!Bindings.empty() && "pop on empty substitution");
-    Bindings.pop_back();
+    assert(Count > 0 && "pop on empty substitution");
+    --Count;
+    if (!Overflow.empty())
+      Overflow.pop_back();
   }
 
-  size_t size() const { return Bindings.size(); }
+  size_t size() const { return Count; }
 
 private:
-  // Small linear map: patterns have a handful of variables.
-  std::vector<std::pair<Symbol, EClassId>> Bindings;
+  static constexpr uint32_t InlineCap = 8;
+
+  const std::pair<Symbol, EClassId> *data() const {
+    return Overflow.empty() ? Inline : Overflow.data();
+  }
+
+  std::pair<Symbol, EClassId> Inline[InlineCap];
+  /// Engaged (holding every binding) only past InlineCap. Once engaged it
+  /// stays engaged until popped empty, so data() has one switch.
+  std::vector<std::pair<Symbol, EClassId>> Overflow;
+  uint32_t Count = 0;
 };
 
 /// One instruction of a compiled match program. Registers hold e-class
@@ -104,6 +128,18 @@ struct MatchInstr {
     return I;
   }
 
+  /// Structural equality. Register allocation is a pure function of the
+  /// preceding instruction sequence, so two programs whose instruction
+  /// prefixes compare equal bind the same registers — the property the
+  /// RuleSet trie compiler relies on to merge shared prefixes.
+  friend bool operator==(const MatchInstr &A, const MatchInstr &B) {
+    return A.K == B.K && A.In == B.In && A.Out == B.Out &&
+           A.Arity == B.Arity && A.Operator == B.Operator;
+  }
+  friend bool operator!=(const MatchInstr &A, const MatchInstr &B) {
+    return !(A == B);
+  }
+
 private:
   explicit MatchInstr(Kind K) : K(K) {}
 };
@@ -123,6 +159,16 @@ public:
 
   size_t numInstrs() const { return Instrs.size(); }
   size_t numRegs() const { return NumRegs; }
+
+  /// The compiled instruction sequence (RuleSet merges these into a
+  /// shared-prefix trie across the rule database).
+  const std::vector<MatchInstr> &instrs() const { return Instrs; }
+
+  /// Pattern variables and the register each binds, first-occurrence
+  /// order (index-aligned with Pattern::vars()).
+  const std::vector<std::pair<Symbol, uint16_t>> &varRegs() const {
+    return VarRegs;
+  }
 
 private:
   std::vector<MatchInstr> Instrs;
@@ -176,6 +222,9 @@ public:
   /// a node with the root operator kind).
   std::vector<std::pair<EClassId, Subst>>
   searchIn(const EGraph &G, const std::vector<EClassId> &Candidates) const;
+
+  /// The compiled register program (trie-compilation input).
+  const MatchProgram &program() const { return Prog; }
 
   /// Builds the term/e-nodes for this pattern under \p S in \p G, returning
   /// the class of the instantiated root. All variables must be bound.

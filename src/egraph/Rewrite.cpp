@@ -42,15 +42,22 @@ Rewrite::searchIn(const EGraph &G,
 }
 
 bool Rewrite::apply(EGraph &G, EClassId Root, const Subst &S) const {
+  return applyMatch(G, Root, S) == ApplyOutcome::Changed;
+}
+
+Rewrite::ApplyOutcome Rewrite::applyMatch(EGraph &G, EClassId Root,
+                                          const Subst &S) const {
   if (Apply) {
     std::optional<EClassId> New = Apply(G, Root, S);
     if (!New)
-      return false;
-    return G.merge(Root, *New).second;
+      return ApplyOutcome::Skipped;
+    return G.merge(Root, *New).second ? ApplyOutcome::Changed
+                                      : ApplyOutcome::Unchanged;
   }
   assert(Rhs && "rewrite has neither an RHS pattern nor an applier");
   EClassId New = Rhs->instantiate(G, S);
-  return G.merge(Root, New).second;
+  return G.merge(Root, New).second ? ApplyOutcome::Changed
+                                   : ApplyOutcome::Unchanged;
 }
 
 size_t Rewrite::run(EGraph &G) const {

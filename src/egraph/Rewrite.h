@@ -46,8 +46,22 @@ public:
   /// Rule with a programmatic right-hand side.
   Rewrite(std::string Name, std::string_view Lhs, Applier Apply);
 
+  /// What one applyMatch() call did to the graph.
+  enum class ApplyOutcome : uint8_t {
+    Skipped,   ///< a programmatic applier declined (e.g. operands not yet
+               ///< constant); the match may become applicable later
+    Unchanged, ///< merged, but the classes were already equal
+    Changed,   ///< merged and the graph changed
+  };
+
   const std::string &name() const { return Name; }
   const Pattern &lhs() const { return Lhs; }
+
+  /// The side condition, or an empty function when unconditional. Guards
+  /// must be pure const reads of the graph — the compiled rule database
+  /// (RuleSet) evaluates them at trie leaves, possibly from the Runner's
+  /// parallel search threads.
+  const Guard &guard() const { return Condition; }
 
   /// All current matches of the left-hand side (after guards). Seeds
   /// candidate roots from the e-graph's operator-head index.
@@ -62,6 +76,13 @@ public:
   /// Applies the rule to one match. Returns true if the graph changed.
   /// The caller is responsible for calling rebuild() afterwards.
   bool apply(EGraph &G, EClassId Root, const Subst &S) const;
+
+  /// Like apply(), but distinguishes a declined programmatic applier
+  /// (Skipped — worth retrying later, constants are monotone) from a
+  /// merge that found the classes already equal (Unchanged — idempotent,
+  /// never worth re-applying). The Runner's applied-match memo keys off
+  /// this distinction.
+  ApplyOutcome applyMatch(EGraph &G, EClassId Root, const Subst &S) const;
 
   /// Convenience: search + apply all + rebuild. Returns number of changes.
   size_t run(EGraph &G) const;

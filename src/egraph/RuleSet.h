@@ -1,0 +1,143 @@
+//===-- egraph/RuleSet.h - Compiled rule database ---------------*- C++ -*-===//
+//
+// Part of the ShrinkRay reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The whole rewrite-rule database compiled into one multi-pattern matcher
+/// (egg's multipattern idea applied to the flat register programs of
+/// Pattern.h). Rules are grouped by the operator at their left-hand-side
+/// root; within a group every rule's MatchProgram is merged into a
+/// shared-prefix trie:
+///
+///  * instructions are merged node-by-node while they compare equal —
+///    register allocation is a pure function of the preceding instruction
+///    sequence, so equal prefixes bind identical registers and a shared
+///    Bind/Compare spine executes exactly once for all rules under it;
+///  * a rule whose program ends at a trie node becomes a *tagged leaf* of
+///    that node: reaching it with a consistent register file completes one
+///    substitution for exactly that rule (a program that is a strict
+///    prefix of another leaves its tag on an interior node);
+///  * per-rule guards run at the leaves, so a guard rejection never prunes
+///    a sibling rule's continuation.
+///
+/// The Runner then searches *one* compiled group per candidate class
+/// instead of one program per rule, which amortizes the per-class e-node
+/// scans across the database. Each candidate carries a bitmask of the
+/// group-local rules to match in it, so rules whose incremental cursors
+/// diverged (backoff bans) can share a traversal while seeing different
+/// candidate sets.
+///
+/// searchGroup() only reads the e-graph through const queries (find,
+/// eclass, data) and writes only the caller's per-rule output buffers, so
+/// distinct groups can be searched from distinct threads against one
+/// unmodified graph snapshot — see EGraph::prepareForConcurrentReads for
+/// the lazy-index contract.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHRINKRAY_EGRAPH_RULESET_H
+#define SHRINKRAY_EGRAPH_RULESET_H
+
+#include "egraph/Rewrite.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace shrinkray {
+
+/// A rewrite-rule database compiled for multi-pattern search. Holds a
+/// reference to the rule vector it was compiled from; the caller keeps
+/// that vector alive (and unmodified) for the RuleSet's lifetime.
+class RuleSet {
+public:
+  /// Hard cap on rules per root-operator group (candidate masks are one
+  /// 64-bit word). The pipeline database's largest group is ~10 rules.
+  static constexpr size_t MaxGroupRules = 64;
+
+  /// Compiles \p Rules. Every left-hand side must be rooted at a concrete
+  /// operator (true of the whole rule database; asserted).
+  explicit RuleSet(const std::vector<Rewrite> &Rules);
+
+  const std::vector<Rewrite> &rules() const { return Rules; }
+  size_t numRules() const { return Rules.size(); }
+
+  size_t numGroups() const { return Groups.size(); }
+
+  /// The root operator shared by every rule in group \p GI.
+  const Op &groupOp(size_t GI) const { return Groups[GI].RootOp; }
+
+  /// Global rule indices of group \p GI, ascending (the group's local rule
+  /// index — the candidate-mask bit — is the position in this list).
+  const std::vector<uint32_t> &groupRules(size_t GI) const {
+    return Groups[GI].RuleIds;
+  }
+
+  /// Group index owning global rule \p RuleIdx.
+  size_t groupOfRule(size_t RuleIdx) const { return RuleGroup[RuleIdx]; }
+
+  /// Trie size of group \p GI; tests assert it is smaller than the sum of
+  /// the member programs (the shared prefix actually shared).
+  size_t numTrieNodes(size_t GI) const { return Groups[GI].Nodes.size(); }
+
+  /// Total instructions across group \p GI's member programs before
+  /// merging (numTrieNodes <= this; equality means nothing was shared).
+  size_t numUnmergedInstrs(size_t GI) const {
+    return Groups[GI].UnmergedInstrs;
+  }
+
+  /// A candidate class paired with the mask of group-local rules to match
+  /// in it (bit i = groupRules(GI)[i]).
+  struct Candidate {
+    EClassId Class;
+    uint64_t Mask;
+  };
+
+  /// Runs group \p GI's trie over \p Cands, appending each completed
+  /// (root, substitution) — post-guard — to Out[global rule index]. For
+  /// any fixed rule the matches appear in exactly the order the rule's own
+  /// searchIn() would produce over the same candidate subsequence, so
+  /// swapping per-rule search for group search is apply-order-invisible.
+  /// const and data-race-free w.r.t. a prepared, unmodified graph.
+  void searchGroup(size_t GI, const EGraph &G,
+                   const std::vector<Candidate> &Cands,
+                   std::vector<std::vector<std::pair<EClassId, Subst>>> &Out)
+      const;
+
+private:
+  /// One trie node: an instruction, the nodes to run after it succeeds,
+  /// and the group-local rules completed by reaching it.
+  struct TrieNode {
+    explicit TrieNode(MatchInstr I) : Instr(std::move(I)) {}
+    MatchInstr Instr;
+    std::vector<uint32_t> Kids;
+    std::vector<uint32_t> Leaves; ///< group-local rule indices
+  };
+
+  struct Group {
+    Op RootOp{OpKind::Empty};
+    std::vector<uint32_t> RuleIds; ///< global indices, ascending
+    std::vector<TrieNode> Nodes;   ///< node 0 is unused sentinel-free root
+                                   ///< list: Roots index into Nodes
+    std::vector<uint32_t> Roots;   ///< top-level nodes (normally one Bind)
+    /// Register file size: max over member programs (shared prefixes
+    /// allocate identically, so programs never disagree below their
+    /// divergence point).
+    uint16_t NumRegs = 1;
+    /// Per local rule: (variable, register) pairs in first-occurrence
+    /// order, used to materialize the Subst at the rule's leaf.
+    std::vector<std::vector<std::pair<Symbol, uint16_t>>> VarRegs;
+    size_t UnmergedInstrs = 0;
+  };
+
+  const std::vector<Rewrite> &Rules;
+  std::vector<Group> Groups;      ///< first-occurrence order of root ops
+  std::vector<uint32_t> RuleGroup; ///< rule index -> group index
+
+  void insertRule(Group &Grp, uint32_t LocalIdx, const MatchProgram &Prog);
+};
+
+} // namespace shrinkray
+
+#endif // SHRINKRAY_EGRAPH_RULESET_H

@@ -3,8 +3,14 @@
 #include "egraph/Runner.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
 #include <unordered_map>
+#include <unordered_set>
 
 using namespace shrinkray;
 
@@ -16,20 +22,161 @@ double secondsSince(Clock::time_point T0) {
   return std::chrono::duration<double>(Clock::now() - T0).count();
 }
 
+/// Number of search workers (including the calling thread) for the
+/// configured limit. 0 = auto: small and fixed, capped at 4 — phase-1
+/// sharding is by root-op group, and the database has ~10 groups.
+size_t resolveThreads(size_t Configured) {
+  if (Configured != 0)
+    return Configured;
+  unsigned HW = std::thread::hardware_concurrency();
+  return std::min<size_t>(4, HW ? HW : 1);
+}
+
+/// A fixed pool of N-1 workers plus the calling thread, reused across all
+/// iterations of one saturation run. run() hands out task indices through
+/// one atomic cursor, so whichever thread is free takes the next group;
+/// results are deterministic regardless because tasks write disjoint
+/// output slots and are consumed in stable order afterwards.
+class SearchPool {
+public:
+  explicit SearchPool(size_t NumWorkers) {
+    Workers.reserve(NumWorkers);
+    for (size_t I = 0; I < NumWorkers; ++I)
+      Workers.emplace_back([this] { workerLoop(); });
+  }
+
+  SearchPool(const SearchPool &) = delete;
+  SearchPool &operator=(const SearchPool &) = delete;
+
+  ~SearchPool() {
+    {
+      std::lock_guard<std::mutex> L(M);
+      Stop = true;
+    }
+    WorkCV.notify_all();
+    for (std::thread &T : Workers)
+      T.join();
+  }
+
+  /// Runs Fn(0..NumTasks-1), caller participating. Returns once all tasks
+  /// finished. A worker can linger in the old epoch's drain loop for one
+  /// more (losing) ticket probe after that — so publishing the *next*
+  /// epoch waits for Draining == 0 before resetting the ticket counter:
+  /// a stale worker can then never claim a fresh ticket against its dead
+  /// function pointer, and a worker that wakes late adopts an exhausted
+  /// counter and exits without invoking anything.
+  void run(size_t NumTasks, const std::function<void(size_t)> &Fn) {
+    if (NumTasks == 0)
+      return;
+    if (Workers.empty()) {
+      for (size_t I = 0; I < NumTasks; ++I)
+        Fn(I);
+      return;
+    }
+    {
+      std::unique_lock<std::mutex> L(M);
+      DoneCV.wait(L, [&] { return Draining == 0; }); // quiesce stragglers
+      Task = &Fn;
+      Tasks = NumTasks;
+      Next.store(0, std::memory_order_relaxed);
+      Done.store(0, std::memory_order_relaxed);
+      ++Epoch;
+    }
+    WorkCV.notify_all();
+    drain(&Fn, NumTasks);
+    std::unique_lock<std::mutex> L(M);
+    DoneCV.wait(L,
+                [&] { return Done.load(std::memory_order_acquire) == Tasks; });
+  }
+
+private:
+  void drain(const std::function<void(size_t)> *Fn, size_t NumTasks) {
+    for (;;) {
+      size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= NumTasks)
+        return;
+      (*Fn)(I); // a claimed ticket implies this epoch is still published
+      if (Done.fetch_add(1, std::memory_order_acq_rel) + 1 == NumTasks) {
+        std::lock_guard<std::mutex> L(M);
+        DoneCV.notify_all();
+      }
+    }
+  }
+
+  void workerLoop() {
+    uint64_t Seen = 0;
+    for (;;) {
+      const std::function<void(size_t)> *Fn;
+      size_t NumTasks;
+      {
+        std::unique_lock<std::mutex> L(M);
+        WorkCV.wait(L, [&] { return Stop || Epoch != Seen; });
+        if (Stop)
+          return;
+        Seen = Epoch;
+        Fn = Task;
+        NumTasks = Tasks;
+        ++Draining;
+      }
+      drain(Fn, NumTasks);
+      {
+        std::lock_guard<std::mutex> L(M);
+        --Draining;
+      }
+      DoneCV.notify_all();
+    }
+  }
+
+  std::vector<std::thread> Workers;
+  std::mutex M;
+  std::condition_variable WorkCV, DoneCV;
+  const std::function<void(size_t)> *Task = nullptr;
+  size_t Tasks = 0;
+  uint64_t Epoch = 0;
+  size_t Draining = 0; ///< workers currently inside an epoch's drain()
+  bool Stop = false;
+  std::atomic<size_t> Next{0};
+  std::atomic<size_t> Done{0};
+};
+
+/// Applied-match memo key: canonical ids of the match root and every bound
+/// variable, in Pattern::vars() order. FNV-1a over the words.
+struct MatchKeyHash {
+  size_t operator()(const std::vector<EClassId> &K) const {
+    uint64_t H = 1469598103934665603ull;
+    for (EClassId V : K) {
+      H ^= V;
+      H *= 1099511628211ull;
+    }
+    return static_cast<size_t>(H);
+  }
+};
+
+using AppliedMemo = std::unordered_set<std::vector<EClassId>, MatchKeyHash>;
+
 } // namespace
 
 RunnerReport Runner::run(EGraph &G, const std::vector<Rewrite> &Rules) const {
+  RuleSet Compiled(Rules);
+  return run(G, Compiled);
+}
+
+RunnerReport Runner::run(EGraph &G, const RuleSet &DB) const {
   const auto Start = Clock::now();
   auto elapsed = [&] { return secondsSince(Start); };
 
+  const std::vector<Rewrite> &Rules = DB.rules();
+  const size_t NumRules = Rules.size();
+  const size_t NumGroups = DB.numGroups();
+
   RunnerReport Report;
-  Report.Rules.resize(Rules.size());
-  for (size_t R = 0; R < Rules.size(); ++R)
+  Report.Rules.resize(NumRules);
+  for (size_t R = 0; R < NumRules; ++R)
     Report.Rules[R].Name = Rules[R].name();
 
   // Backoff state per rule: banned-until iteration and current ban length.
-  std::vector<size_t> BannedUntil(Rules.size(), 0);
-  std::vector<size_t> BanLength(Rules.size(), Limits.BanLengthIters);
+  std::vector<size_t> BannedUntil(NumRules, 0);
+  std::vector<size_t> BanLength(NumRules, Limits.BanLengthIters);
 
   // Incremental-search state per rule: the graph generation as of the
   // rule's last search whose matches were applied. Matches found before
@@ -37,8 +184,23 @@ RunnerReport Runner::run(EGraph &G, const std::vector<Rewrite> &Rules) const {
   // later searches only need classes dirtied since. A search discarded by
   // the match-limit backoff does NOT advance the cursor: dirtiness is
   // monotone, so the discarded matches are re-found when the ban expires.
-  std::vector<uint64_t> LastSearchGen(Rules.size(), 0);
-  std::vector<char> EverSearched(Rules.size(), 0);
+  std::vector<uint64_t> LastSearchGen(NumRules, 0);
+  std::vector<char> EverSearched(NumRules, 0);
+
+  // Applied-match memo per rule (all iterations): canonicalized
+  // (root, bindings) tuples whose merge already happened. Entries go
+  // stale when a later merge re-canonicalizes their ids; the re-found
+  // match then misses, re-applies as a cheap no-op, and re-inserts under
+  // the fresh ids — correctness never depends on a hit.
+  std::vector<AppliedMemo> Applied(NumRules);
+
+  // Match-limit window per rule: distinct graph-changing merges
+  // accumulated across the current incremental streak. Reset by full
+  // searches (which re-baseline against the whole graph) and by bans.
+  std::vector<size_t> WindowMerged(NumRules, 0);
+
+  const size_t Threads = resolveThreads(Limits.NumThreads);
+  SearchPool Pool(Threads > 1 ? Threads - 1 : 0);
 
   G.rebuild();
   for (size_t Iter = 0; Iter < Limits.IterLimit; ++Iter) {
@@ -57,37 +219,153 @@ RunnerReport Runner::run(EGraph &G, const std::vector<Rewrite> &Rules) const {
       return It->second;
     };
 
-    // Phase 1: search all rules against a consistent graph snapshot.
-    std::vector<std::vector<std::pair<EClassId, Subst>>> AllMatches(
-        Rules.size());
-    std::vector<char> SearchedNow(Rules.size(), 0);
-    for (size_t R = 0; R < Rules.size(); ++R) {
-      if (BannedUntil[R] > Iter)
+    // Windowed backoff trigger: a rule whose incremental streak merged
+    // more than MatchLimit distinct new matches is as explosive as one
+    // full search finding that many — ban it before searching again.
+    for (size_t R = 0; R < NumRules; ++R) {
+      if (BannedUntil[R] > Iter || WindowMerged[R] <= Limits.MatchLimit)
         continue;
-      RuleStats &RS = Report.Rules[R];
-      const auto SearchStart = Clock::now();
-      const std::vector<EClassId> &Cands =
-          G.classesWithOp(Rules[R].lhs().rootOp());
-      if (!EverSearched[R]) {
-        AllMatches[R] = Rules[R].searchIn(G, Cands);
-        ++RS.FullSearches;
-      } else {
-        const std::vector<EClassId> &Dirty = dirtySince(LastSearchGen[R]);
-        if (Dirty.size() * 2 >= G.numClasses()) {
-          // Most of the graph changed; the set intersection would not
-          // prune enough to pay for itself.
-          AllMatches[R] = Rules[R].searchIn(G, Cands);
+      BannedUntil[R] = Iter + BanLength[R];
+      BanLength[R] *= 2;
+      WindowMerged[R] = 0;
+      ++Report.Rules[R].Bans;
+    }
+
+    // Phase 1a (serial): schedule every non-banned rule — full indexed
+    // search or dirty-restricted incremental — and assemble one candidate
+    // list per root-op group, each candidate tagged with the mask of
+    // group-local rules that must search it. Rules sharing a cursor (the
+    // common case) share one list and one full mask.
+    const auto SearchStart = Clock::now();
+    std::vector<char> RuleActive(NumRules, 0), RuleFull(NumRules, 0);
+    std::vector<std::vector<RuleSet::Candidate>> GroupCands(NumGroups);
+    std::vector<size_t> GroupActive(NumGroups, 0);
+    for (size_t GI = 0; GI < NumGroups; ++GI) {
+      const std::vector<uint32_t> &Members = DB.groupRules(GI);
+      const std::vector<EClassId> &Bucket = G.classesWithOp(DB.groupOp(GI));
+      // Per-cursor filtered candidate lists, shared by same-cursor rules.
+      std::unordered_map<uint64_t, std::vector<EClassId>> FilteredByGen;
+      const std::vector<EClassId> *FirstList = nullptr;
+      bool AllSame = true;
+      std::vector<const std::vector<EClassId> *> MemberList(Members.size(),
+                                                            nullptr);
+      for (size_t B = 0; B < Members.size(); ++B) {
+        const size_t R = Members[B];
+        if (BannedUntil[R] > Iter)
+          continue;
+        RuleActive[R] = 1;
+        ++GroupActive[GI];
+        RuleStats &RS = Report.Rules[R];
+        if (!EverSearched[R]) {
+          MemberList[B] = &Bucket;
+          RuleFull[R] = 1;
           ++RS.FullSearches;
         } else {
-          // Both lists are sorted ascending; scan only dirty candidates.
-          std::vector<EClassId> Filtered;
-          std::set_intersection(Cands.begin(), Cands.end(), Dirty.begin(),
-                                Dirty.end(), std::back_inserter(Filtered));
-          AllMatches[R] = Rules[R].searchIn(G, Filtered);
-          ++RS.IncrementalSearches;
+          const std::vector<EClassId> &Dirty = dirtySince(LastSearchGen[R]);
+          if (Dirty.size() * 2 >= G.numClasses()) {
+            // Most of the graph changed; the set intersection would not
+            // prune enough to pay for itself.
+            MemberList[B] = &Bucket;
+            RuleFull[R] = 1;
+            ++RS.FullSearches;
+          } else {
+            auto It = FilteredByGen.find(LastSearchGen[R]);
+            if (It == FilteredByGen.end()) {
+              // Both lists are sorted ascending; keep dirty candidates.
+              std::vector<EClassId> Filtered;
+              std::set_intersection(Bucket.begin(), Bucket.end(),
+                                    Dirty.begin(), Dirty.end(),
+                                    std::back_inserter(Filtered));
+              It = FilteredByGen.emplace(LastSearchGen[R],
+                                         std::move(Filtered))
+                       .first;
+            }
+            MemberList[B] = &It->second;
+            ++RS.IncrementalSearches;
+          }
         }
+        if (!FirstList)
+          FirstList = MemberList[B];
+        else if (FirstList != MemberList[B])
+          AllSame = false;
       }
-      RS.SearchSec += secondsSince(SearchStart);
+      if (!FirstList)
+        continue; // whole group banned
+      std::vector<RuleSet::Candidate> &Cands = GroupCands[GI];
+      if (AllSame) {
+        uint64_t Mask = 0;
+        for (size_t B = 0; B < Members.size(); ++B)
+          if (MemberList[B])
+            Mask |= uint64_t(1) << B;
+        Cands.reserve(FirstList->size());
+        for (EClassId Id : *FirstList)
+          Cands.push_back({Id, Mask});
+      } else {
+        // Cursors diverged (bans): merge the sorted per-rule lists into
+        // one ascending list of (class, rule mask).
+        std::unordered_map<EClassId, uint64_t> Merged;
+        for (size_t B = 0; B < Members.size(); ++B)
+          if (MemberList[B])
+            for (EClassId Id : *MemberList[B])
+              Merged[Id] |= uint64_t(1) << B;
+        Cands.reserve(Merged.size());
+        for (const auto &[Id, Mask] : Merged)
+          Cands.push_back({Id, Mask});
+        std::sort(Cands.begin(), Cands.end(),
+                  [](const RuleSet::Candidate &A, const RuleSet::Candidate &B) {
+                    return A.Class < B.Class;
+                  });
+      }
+    }
+
+    // Phase 1b: run the group searches against the unmodified snapshot.
+    // Heaviest groups first so the pool drains evenly.
+    std::vector<size_t> Order;
+    Order.reserve(NumGroups);
+    for (size_t GI = 0; GI < NumGroups; ++GI)
+      if (!GroupCands[GI].empty())
+        Order.push_back(GI);
+    std::sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+      if (GroupCands[A].size() != GroupCands[B].size())
+        return GroupCands[A].size() > GroupCands[B].size();
+      return A < B;
+    });
+    std::vector<std::vector<std::pair<EClassId, Subst>>> AllMatches(NumRules);
+    std::vector<double> GroupSec(NumGroups, 0.0);
+    auto searchOne = [&](size_t TaskIdx) {
+      const size_t GI = Order[TaskIdx];
+      const auto T0 = Clock::now();
+      DB.searchGroup(GI, G, GroupCands[GI], AllMatches);
+      GroupSec[GI] = secondsSince(T0);
+    };
+    if (Threads > 1 && Order.size() > 1) {
+      // Quiesce the lazy indexes (union-find halving, op-bucket
+      // compaction) so every const query the workers make is write-free.
+      G.prepareForConcurrentReads();
+      Pool.run(Order.size(), searchOne);
+    } else {
+      for (size_t T = 0; T < Order.size(); ++T)
+        searchOne(T);
+    }
+
+    // Group search time is shared work: attribute it evenly across the
+    // group's active rules (exact per-rule attribution does not exist
+    // once the Bind spine is shared).
+    for (size_t GI = 0; GI < NumGroups; ++GI) {
+      if (!GroupActive[GI])
+        continue;
+      double Share = GroupSec[GI] / static_cast<double>(GroupActive[GI]);
+      for (uint32_t R : DB.groupRules(GI))
+        if (RuleActive[R])
+          Report.Rules[R].SearchSec += Share;
+    }
+
+    // Phase 1c: per-rule match accounting and the per-search ban trigger.
+    std::vector<char> SearchedNow(NumRules, 0);
+    for (size_t R = 0; R < NumRules; ++R) {
+      if (!RuleActive[R])
+        continue;
+      RuleStats &RS = Report.Rules[R];
       RS.Matches += AllMatches[R].size();
       Stats.Matches += AllMatches[R].size();
       SearchedNow[R] = 1;
@@ -96,38 +374,79 @@ RunnerReport Runner::run(EGraph &G, const std::vector<Rewrite> &Rules) const {
         // doubling the ban each time (exponential backoff).
         BannedUntil[R] = Iter + BanLength[R];
         BanLength[R] *= 2;
+        ++RS.Bans;
         AllMatches[R].clear();
         SearchedNow[R] = 0; // discarded: keep the cursor where it was
+        WindowMerged[R] = 0;
       }
     }
 
     // Searches ran against an unmodified graph, so one generation stamp
     // covers them all; everything the applies below touch is newer.
     const uint64_t GenAfterSearch = G.generation();
-    for (size_t R = 0; R < Rules.size(); ++R)
+    for (size_t R = 0; R < NumRules; ++R)
       if (SearchedNow[R]) {
         LastSearchGen[R] = GenAfterSearch;
         EverSearched[R] = 1;
+        if (RuleFull[R])
+          WindowMerged[R] = 0; // full search re-baselines the window
       }
+    Stats.SearchSec = secondsSince(SearchStart);
 
-    // Phase 2: apply everything, then restore invariants once.
-    for (size_t R = 0; R < Rules.size(); ++R) {
+    // Phase 2: apply everything not yet in the applied memo, then restore
+    // invariants once.
+    const auto ApplyStart = Clock::now();
+    std::vector<EClassId> Key;
+    for (size_t R = 0; R < NumRules; ++R) {
       if (AllMatches[R].empty())
         continue;
       RuleStats &RS = Report.Rules[R];
-      const auto ApplyStart = Clock::now();
-      for (const auto &[Root, S] : AllMatches[R])
-        if (Rules[R].apply(G, Root, S)) {
+      const auto RuleApplyStart = Clock::now();
+      const std::vector<Symbol> &Vars = Rules[R].lhs().vars();
+      for (const auto &[Root, S] : AllMatches[R]) {
+        Key.clear();
+        Key.push_back(G.find(Root));
+        for (Symbol V : Vars)
+          Key.push_back(G.find(S[V]));
+        if (Applied[R].find(Key) != Applied[R].end())
+          continue; // already merged: re-applying cannot change the graph
+        Rewrite::ApplyOutcome Outcome = Rules[R].applyMatch(G, Root, S);
+        if (Outcome == Rewrite::ApplyOutcome::Skipped)
+          continue; // applier declined (e.g. not yet constant): retry later
+        Applied[R].insert(Key);
+        if (Outcome == Rewrite::ApplyOutcome::Changed) {
           ++Stats.Applied;
           ++RS.Applied;
+          ++WindowMerged[R];
         }
-      RS.ApplySec += secondsSince(ApplyStart);
+      }
+      RS.ApplySec += secondsSince(RuleApplyStart);
     }
+    Stats.ApplySec = secondsSince(ApplyStart);
+
+    const auto RebuildStart = Clock::now();
     G.rebuild();
+
+    // Every live cursor has passed the log prefix at generations <= the
+    // minimum rule cursor; rules never searched do not read the log (their
+    // next search is full). External readers are protected by leases.
+    uint64_t MinCursor = UINT64_MAX;
+    bool AnyCursor = false;
+    for (size_t R = 0; R < NumRules; ++R)
+      if (EverSearched[R]) {
+        MinCursor = std::min(MinCursor, LastSearchGen[R]);
+        AnyCursor = true;
+      }
+    if (AnyCursor)
+      G.compactDirtyLog(MinCursor);
+    Stats.RebuildSec = secondsSince(RebuildStart);
 
     Stats.Nodes = G.numNodes();
     Stats.Classes = G.numClasses();
     Stats.Seconds = secondsSince(IterStart);
+    Report.SearchSec += Stats.SearchSec;
+    Report.ApplySec += Stats.ApplySec;
+    Report.RebuildSec += Stats.RebuildSec;
     Report.Iterations.push_back(Stats);
 
     bool Changed = Stats.Applied > 0 || Stats.Nodes != NodesBefore;

@@ -52,6 +52,10 @@ SynthesisResult Synthesizer::synthesize(const TermPtr &FlatCsg) const {
   G.rebuild();
 
   const std::vector<Rewrite> Rules = pipelineRules();
+  // One compiled database for every saturation round: the shared-prefix
+  // tries are a pure function of the rules, so recompiling per round
+  // would only burn time.
+  const RuleSet CompiledRules(Rules);
   const FunctionSolver Solver(Opts.Solver);
   const Pattern FoldPattern = Pattern::parse("(Fold Union Empty ?l)");
   const Symbol ListVar("l");
@@ -66,9 +70,12 @@ SynthesisResult Synthesizer::synthesize(const TermPtr &FlatCsg) const {
   for (unsigned Iter = 0; Iter < Opts.MainLoopIters; ++Iter) {
     // --- Syntactic rewrites (Fig. 5 line 4) -----------------------------
     const auto RewriteStart = Clock::now();
-    Result.Stats.Rewriting = SaturationRunner.run(G, Rules);
+    Result.Stats.Rewriting = SaturationRunner.run(G, CompiledRules);
     Result.Stats.RewriteSeconds +=
         std::chrono::duration<double>(Clock::now() - RewriteStart).count();
+    Result.Stats.RewriteSearchSeconds += Result.Stats.Rewriting.SearchSec;
+    Result.Stats.RewriteApplySeconds += Result.Stats.Rewriting.ApplySec;
+    Result.Stats.RewriteRebuildSeconds += Result.Stats.Rewriting.RebuildSec;
     const auto SolveStart = Clock::now();
 
     // --- Locate fold contexts -------------------------------------------

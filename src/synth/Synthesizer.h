@@ -56,6 +56,12 @@ struct SynthesisStats {
   double RewriteSeconds = 0.0; ///< equality saturation (Runner)
   double SolveSeconds = 0.0;   ///< determinize + solver inference + sorting
   double ExtractSeconds = 0.0; ///< extraction engine derive/refresh+extract
+  // Saturation sub-phases (RunnerReport totals summed across main-loop
+  // iterations): compiled-group search, memo-filtered apply, and
+  // rebuild + dirty-log compaction.
+  double RewriteSearchSeconds = 0.0;
+  double RewriteApplySeconds = 0.0;
+  double RewriteRebuildSeconds = 0.0;
 };
 
 /// The top-k programs plus run statistics.

@@ -1,0 +1,415 @@
+//===-- tests/ruleset_test.cpp - Compiled rule database + parallel runner -===//
+//
+// Coverage for the compiled rule database (RuleSet) and the Runner work
+// that rides on it:
+//
+//  * differential: compiled-group search returns exactly the per-rule
+//    searchIn() results — same roots, same substitutions, same order —
+//    on every rule database the pipeline uses and on adversarial
+//    shared-prefix rule sets over hand-built graphs;
+//  * trie shape: shared Bind/Compare prefixes are actually merged;
+//  * determinism: serial and parallel saturation produce identical
+//    e-graphs and identical (non-timing) reports, run to run;
+//  * match-limit window: explosive rules are banned even when incremental
+//    search keeps their per-search counts small (the dodge), while rules
+//    that merely re-find standing matches are not (the over-trigger);
+//  * dirty-log compaction: bounded growth across long sessions, the
+//    conservative fallback below the compaction floor, and lease
+//    protection for incremental extraction engines.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cad/Sexp.h"
+#include "egraph/Extract.h"
+#include "egraph/RuleSet.h"
+#include "egraph/Runner.h"
+#include "models/Models.h"
+#include "rewrites/Rules.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace shrinkray;
+
+namespace {
+
+TermPtr parse(const std::string &Sexp) {
+  ParseResult R = parseSexp(Sexp);
+  EXPECT_TRUE(R) << R.Error << " in " << Sexp;
+  return R.Value;
+}
+
+/// A distinct solid leaf per index.
+EClassId addLeaf(EGraph &G, int I) {
+  std::ostringstream Os;
+  Os << "(Translate (Vec3 " << I << " 0 0) Unit)";
+  return G.addTerm(parse(Os.str()));
+}
+
+/// Canonical string key for one match: root class plus each variable's
+/// binding in the pattern's variable order.
+std::string matchKey(const EGraph &G, const std::vector<Symbol> &Vars,
+                     EClassId Root, const Subst &S) {
+  std::ostringstream Os;
+  Os << G.find(Root);
+  for (Symbol V : Vars)
+    Os << "|" << V.str() << "=" << G.find(S[V]);
+  return Os.str();
+}
+
+/// Per-rule match-key sequences from the compiled group search, driven
+/// over the full op-index candidates with every rule active.
+std::vector<std::vector<std::string>> groupedSearch(const EGraph &G,
+                                                    const RuleSet &DB) {
+  std::vector<std::vector<std::pair<EClassId, Subst>>> Out(DB.numRules());
+  for (size_t GI = 0; GI < DB.numGroups(); ++GI) {
+    const std::vector<EClassId> &Bucket = G.classesWithOp(DB.groupOp(GI));
+    uint64_t Mask = 0;
+    for (size_t B = 0; B < DB.groupRules(GI).size(); ++B)
+      Mask |= uint64_t(1) << B;
+    std::vector<RuleSet::Candidate> Cands;
+    Cands.reserve(Bucket.size());
+    for (EClassId Id : Bucket)
+      Cands.push_back({Id, Mask});
+    DB.searchGroup(GI, G, Cands, Out);
+  }
+  std::vector<std::vector<std::string>> Keys(DB.numRules());
+  for (size_t R = 0; R < DB.numRules(); ++R)
+    for (const auto &[Root, S] : Out[R])
+      Keys[R].push_back(matchKey(G, DB.rules()[R].lhs().vars(), Root, S));
+  return Keys;
+}
+
+/// The same sequences from the pre-existing one-rule-at-a-time engine.
+std::vector<std::vector<std::string>>
+perRuleSearch(const EGraph &G, const std::vector<Rewrite> &Rules) {
+  std::vector<std::vector<std::string>> Keys(Rules.size());
+  for (size_t R = 0; R < Rules.size(); ++R) {
+    const std::vector<EClassId> &Bucket =
+        G.classesWithOp(Rules[R].lhs().rootOp());
+    for (const auto &[Root, S] : Rules[R].searchIn(G, Bucket))
+      Keys[R].push_back(matchKey(G, Rules[R].lhs().vars(), Root, S));
+  }
+  return Keys;
+}
+
+void expectSameMatches(const EGraph &G, const std::vector<Rewrite> &Rules,
+                       const char *Where) {
+  RuleSet DB(Rules);
+  std::vector<std::vector<std::string>> Grouped = groupedSearch(G, DB);
+  std::vector<std::vector<std::string>> PerRule = perRuleSearch(G, Rules);
+  for (size_t R = 0; R < Rules.size(); ++R)
+    EXPECT_EQ(Grouped[R], PerRule[R])
+        << Where << ": rule " << Rules[R].name();
+}
+
+/// Saturates a model's graph partway so the differential runs against a
+/// graph with real merge history, not just the freshly added term.
+EClassId loadModel(EGraph &G, const std::string &Name, size_t Iters) {
+  EClassId Root = G.addTerm(models::modelByName(Name).FlatCsg);
+  G.rebuild();
+  if (Iters > 0) {
+    RunnerLimits L;
+    L.IterLimit = Iters;
+    Runner(L).run(G, pipelineRules());
+  }
+  return Root;
+}
+
+//===----------------------------------------------------------------------===//
+// Differential: grouped search == per-rule search
+//===----------------------------------------------------------------------===//
+
+TEST(RuleSetDifferential, PipelineRulesOnModels) {
+  for (const char *Name : {"3244600:cnc-end-mill", "3171605:card-org",
+                           "3148599:box-tray", "3094201:dice"}) {
+    for (size_t Iters : {size_t(0), size_t(4)}) {
+      EGraph G;
+      loadModel(G, Name, Iters);
+      expectSameMatches(G, pipelineRules(), Name);
+    }
+  }
+}
+
+TEST(RuleSetDifferential, EveryRuleFamily) {
+  EGraph G;
+  loadModel(G, "3148599:box-tray", 3);
+  expectSameMatches(G, liftingRules(), "lifting");
+  expectSameMatches(G, reorderRules(), "reorder");
+  expectSameMatches(G, collapseRules(), "collapse");
+  expectSameMatches(G, foldRules(), "fold");
+  expectSameMatches(G, booleanRules(true, true), "boolean");
+  expectSameMatches(G, identityRules(), "identity");
+  expectSameMatches(G, listAlgebraRules(), "list-algebra");
+  expectSameMatches(G, allRewrites(), "allRewrites");
+}
+
+TEST(RuleSetDifferential, AdversarialSharedPrefixes) {
+  // Rules chosen so that: one leaf sits on an interior trie node (the
+  // plain (Union ?x ?y) program is a strict prefix of three others), a
+  // Compare branch (nonlinear ?x ?x) shares the root Bind, two deeper
+  // Binds diverge on different operators at the same registers, and a
+  // guard sits at one leaf.
+  std::vector<Rewrite> Rules;
+  Rules.emplace_back("comm", "(Union ?x ?y)", "(Union ?y ?x)");
+  Rules.emplace_back("idem", "(Union ?x ?x)", "?x");
+  Rules.emplace_back("assoc", "(Union (Union ?a ?b) ?c)",
+                     "(Union ?a (Union ?b ?c))");
+  Rules.emplace_back("cons-right", "(Union ?x (Fold Union ?y ?zs))",
+                     "(Fold Union ?y (Cons ?x ?zs))");
+  Rules.emplace_back("cons-left", "(Union (Fold Union ?y ?zs) ?x)",
+                     "(Fold Union ?y (Cons ?x ?zs))");
+  Rules.emplace_back("guarded", "(Union ?x ?y)", "?x", isConst("x"));
+
+  RuleSet DB(Rules);
+  ASSERT_EQ(DB.numGroups(), 1u);
+  // The six programs share one root Bind (and comm/idem/guarded share
+  // everything): the trie must be strictly smaller than the sum.
+  EXPECT_LT(DB.numTrieNodes(0), DB.numUnmergedInstrs(0));
+
+  // A graph exercising every branch: nested unions, a fold with a cons
+  // spine, a numeric class (for the guard, in both guard-passing and
+  // guard-failing positions), a class holding several Union nodes (via
+  // merges), and a self-referential class.
+  EGraph G;
+  EClassId N5 = G.addTerm(parse("5"));
+  EClassId A = addLeaf(G, 1);
+  EClassId B = G.addTerm(parse("Sphere"));
+  EClassId AB = G.add(ENode(Op(OpKind::Union), {A, B}));
+  EClassId ABC = G.add(ENode(Op(OpKind::Union), {AB, N5}));
+  G.add(ENode(Op(OpKind::Union), {N5, A})); // guard passes: ?x is const
+  G.addTerm(
+      parse("(Union Sphere (Fold Union Empty (Cons Sphere Nil)))"));
+  // Multi-node class: AB also spelled Union(B, A).
+  EClassId BA = G.add(ENode(Op(OpKind::Union), {B, A}));
+  G.merge(AB, BA);
+  // Self-referential class: C = Union(C, A).
+  EClassId Self = G.add(ENode(Op(OpKind::Union), {ABC, A}));
+  G.merge(Self, ABC);
+  G.rebuild();
+  ASSERT_EQ(G.checkInvariants(), "");
+
+  expectSameMatches(G, Rules, "adversarial");
+}
+
+TEST(RuleSetTrie, PipelineGroupsShareSpines) {
+  std::vector<Rewrite> Rules = pipelineRules();
+  RuleSet DB(Rules);
+  // Every rule lands in exactly one group.
+  size_t Covered = 0;
+  for (size_t GI = 0; GI < DB.numGroups(); ++GI) {
+    Covered += DB.groupRules(GI).size();
+    EXPECT_LE(DB.numTrieNodes(GI), DB.numUnmergedInstrs(GI));
+    for (uint32_t R : DB.groupRules(GI))
+      EXPECT_EQ(DB.groupOfRule(R), GI);
+  }
+  EXPECT_EQ(Covered, Rules.size());
+  // The Union group holds the fold/lift/boolean rules and must actually
+  // share its root Bind.
+  bool FoundUnion = false;
+  for (size_t GI = 0; GI < DB.numGroups(); ++GI)
+    if (DB.groupOp(GI) == Op(OpKind::Union)) {
+      FoundUnion = true;
+      EXPECT_GT(DB.groupRules(GI).size(), 5u);
+      EXPECT_LT(DB.numTrieNodes(GI), DB.numUnmergedInstrs(GI));
+    }
+  EXPECT_TRUE(FoundUnion);
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism: serial == parallel, run to run
+//===----------------------------------------------------------------------===//
+
+std::string nonTimingFingerprint(const RunnerReport &Rep) {
+  std::ostringstream Os;
+  Os << static_cast<int>(Rep.Stop) << ";";
+  for (const IterationStats &It : Rep.Iterations)
+    Os << It.Applied << "," << It.Matches << "," << It.Nodes << ","
+       << It.Classes << ";";
+  for (const RuleStats &RS : Rep.Rules)
+    Os << RS.Name << "," << RS.Matches << "," << RS.Applied << ","
+       << RS.FullSearches << "," << RS.IncrementalSearches << "," << RS.Bans
+       << ";";
+  return Os.str();
+}
+
+TEST(RunnerParallel, SerialAndParallelAreBitIdentical) {
+  auto runWith = [&](size_t Threads, std::string &Dump) {
+    EGraph G;
+    G.addTerm(models::modelByName("3148599:box-tray").FlatCsg);
+    G.rebuild();
+    RunnerLimits L;
+    L.NumThreads = Threads;
+    RunnerReport Rep = Runner(L).run(G, pipelineRules());
+    EXPECT_EQ(G.checkInvariants(), "");
+    Dump = G.dump();
+    return nonTimingFingerprint(Rep);
+  };
+  std::string D1, D4a, D4b;
+  std::string F1 = runWith(1, D1);
+  std::string F4a = runWith(4, D4a);
+  std::string F4b = runWith(4, D4b);
+  EXPECT_EQ(F1, F4a);
+  EXPECT_EQ(F4a, F4b);
+  EXPECT_EQ(D1, D4a);
+  EXPECT_EQ(D4a, D4b);
+}
+
+TEST(RunnerParallel, CompiledAndUncompiledOverloadsAgree) {
+  std::vector<Rewrite> Rules = pipelineRules();
+  RuleSet DB(Rules);
+  EGraph G1, G2;
+  G1.addTerm(models::modelByName("3171605:card-org").FlatCsg);
+  G2.addTerm(models::modelByName("3171605:card-org").FlatCsg);
+  G1.rebuild();
+  G2.rebuild();
+  RunnerReport R1 = Runner().run(G1, Rules);
+  RunnerReport R2 = Runner().run(G2, DB);
+  EXPECT_EQ(nonTimingFingerprint(R1), nonTimingFingerprint(R2));
+  EXPECT_EQ(G1.dump(), G2.dump());
+}
+
+//===----------------------------------------------------------------------===//
+// Match-limit semantics under incremental search
+//===----------------------------------------------------------------------===//
+
+TEST(MatchLimitWindow, ExplosiveRuleIsBannedUnderIncrementalSearch) {
+  // The dodge scenario: cons-repeat-grow walks outward along a literal
+  // 80-element spine of one repeated solid, merging one level per
+  // iteration. Incremental search keeps every per-search match count at
+  // 1-2 (old levels leave the dirty closure, so nothing is re-found),
+  // but the rule's distinct-merge window accumulates past the limit —
+  // under the old per-search-count semantics it would never be banned.
+  EGraph G;
+  EClassId X = addLeaf(G, 7);
+  EClassId Spine = G.addTerm(parse("Nil"));
+  for (int I = 0; I < 80; ++I)
+    Spine = G.add(ENode(Op(OpKind::Cons), {X, Spine}));
+  for (int I = 0; I < 4000; ++I) // keep the dirty closure below the
+    G.add(ENode(Op::makeInt(I + 1000), {})); // full-search fallback
+  G.rebuild();
+  RunnerLimits L;
+  L.MatchLimit = 50;
+  L.IterLimit = 200;
+  RunnerReport Rep = Runner(L).run(G, listAlgebraRules());
+  size_t GrowBans = 0;
+  for (const RuleStats &RS : Rep.Rules)
+    if (RS.Name == "cons-repeat-grow")
+      GrowBans = RS.Bans;
+  EXPECT_GE(GrowBans, 1u);
+  // Proof the ban came from the window: no iteration found more matches
+  // (across ALL rules) than a fraction of the limit, so the per-search
+  // trigger cannot have fired.
+  for (const IterationStats &It : Rep.Iterations)
+    EXPECT_LE(It.Matches, L.MatchLimit / 2);
+  EXPECT_EQ(G.checkInvariants(), "");
+}
+
+TEST(MatchLimitWindow, RefoundStandingMatchesDoNotOverTrigger) {
+  // Ten disjoint unions: commutativity merges each once (10 distinct
+  // merges), then only re-finds the same standing matches. Total found
+  // across the run far exceeds the limit; the distinct-merge window stays
+  // at 10 and the per-search count at ~20, so nothing may be banned.
+  EGraph G;
+  for (int I = 1; I <= 10; ++I)
+    G.add(ENode(Op(OpKind::Union),
+                {addLeaf(G, I), addLeaf(G, 100 + I)}));
+  G.rebuild();
+  RunnerLimits L;
+  L.MatchLimit = 25;
+  L.IterLimit = 12;
+  RunnerReport Rep = Runner(L).run(
+      G, booleanRules(/*IncludeAssociativity=*/false,
+                      /*IncludeCommutativity=*/true));
+  size_t TotalFound = 0;
+  for (const RuleStats &RS : Rep.Rules) {
+    TotalFound += RS.Matches;
+    EXPECT_EQ(RS.Bans, 0u) << RS.Name;
+  }
+  EXPECT_GT(TotalFound, L.MatchLimit); // the old accumulate-everything
+                                       // semantics would have banned
+}
+
+//===----------------------------------------------------------------------===//
+// Dirty-log compaction
+//===----------------------------------------------------------------------===//
+
+TEST(DirtyLogCompaction, CompactionDropsDeadPrefixAndFallsBackSoundly) {
+  EGraph G;
+  G.addTerm(models::modelByName("3171605:card-org").FlatCsg);
+  G.rebuild();
+  ASSERT_GT(G.dirtyLogSize(), 0u);
+  uint64_t Mid = G.generation() / 2;
+  G.compactDirtyLog(Mid);
+  // Cursors at or above the floor stay exact...
+  EXPECT_TRUE(G.takeDirtySince(G.generation()).empty());
+  // ...and a cursor behind the floor degrades to every class (sound).
+  EXPECT_EQ(G.takeDirtySince(0), G.classIds());
+  G.compactDirtyLog(G.generation());
+  EXPECT_EQ(G.dirtyLogSize(), 0u);
+}
+
+TEST(DirtyLogCompaction, LongSessionGrowthIsBounded) {
+  // Many saturation runs against one graph, each adding fresh structure:
+  // without compaction the log grows with total session mutations; with
+  // it, the log at rest holds at most the entries the *last* run's
+  // cursors still straddle.
+  EGraph G;
+  std::vector<Rewrite> Rules = pipelineRules();
+  RuleSet DB(Rules);
+  Runner R;
+  size_t MaxLogAtRest = 0;
+  for (int Round = 0; Round < 6; ++Round) {
+    std::ostringstream Os;
+    Os << "(Union (Translate (Vec3 " << Round + 1
+       << " 0 0) Unit) (Translate (Vec3 0 0 " << Round + 1
+       << ") Sphere))";
+    G.addTerm(parse(Os.str()));
+    G.rebuild();
+    R.run(G, DB);
+    MaxLogAtRest = std::max(MaxLogAtRest, G.dirtyLogSize());
+  }
+  // The generation counter records every mutation of the session; the
+  // compacted log must stay well below it.
+  EXPECT_GT(G.generation(), 8u * MaxLogAtRest);
+  EXPECT_EQ(G.checkInvariants(), "");
+}
+
+TEST(DirtyLogCompaction, LeaseProtectsIncrementalExtraction) {
+  EGraph G;
+  EClassId Root = G.addTerm(
+      models::modelByName("3244600:cnc-end-mill").FlatCsg);
+  G.rebuild();
+  AstSizeCost Cost;
+  Extractor Eng(G, Cost); // acquires a lease at the current generation
+  // A saturation run that compacts the log each iteration. The lease
+  // must keep the suffix the engine's refresh() will ask for.
+  Runner().run(G, pipelineRules());
+  ASSERT_GT(G.dirtyLogSize(), 0u) << "lease did not hold the log suffix";
+  Eng.refresh();
+  ReferenceExtractor Oracle(G, Cost);
+  ASSERT_TRUE(Eng.bestCost(Root).has_value());
+  EXPECT_EQ(*Eng.bestCost(Root), *Oracle.bestCost(Root));
+  EXPECT_TRUE(termEquals(Eng.extract(Root), Oracle.extract(Root)));
+}
+
+TEST(DirtyLogCompaction, ReleasedLeaseUnblocksCompaction) {
+  EGraph G;
+  G.addTerm(parse("(Union Unit Sphere)"));
+  G.rebuild();
+  {
+    AstSizeCost Cost;
+    Extractor Eng(G, Cost);
+    G.addTerm(parse("(Translate (Vec3 9 9 9) Sphere)"));
+    G.rebuild();
+    G.compactDirtyLog(G.generation());
+    EXPECT_GT(G.dirtyLogSize(), 0u); // lease pins the suffix
+  }
+  G.compactDirtyLog(G.generation()); // lease released: everything dead
+  EXPECT_EQ(G.dirtyLogSize(), 0u);
+}
+
+} // namespace
