@@ -1,0 +1,6 @@
+// Six cylinders on a ring: the rotation angle is an affine function of
+// the loop index, so the synthesizer recovers the trig closed form.
+for (a = [0 : 60 : 300])
+  rotate([0, 0, a])
+    translate([8, 0, 0])
+      cylinder(h = 3, r = 1);

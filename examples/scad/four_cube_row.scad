@@ -1,0 +1,7 @@
+// A row of four unit cubes, 2 units apart — the smallest input whose
+// synthesized program exposes a counted loop (Mapi over Repeat).
+// Drive it through the batch front end:
+//   shrinkray_batch -j 2 examples/scad
+for (i = [0:3])
+  translate([i * 2, 0, 0])
+    cube(1);

@@ -1,0 +1,5 @@
+// A 3x2 grid of boxes — two nested loops, one affine function per axis.
+for (x = [0 : 2])
+  for (z = [0 : 1])
+    translate([x * 5, 0, z * 4])
+      cube([4, 3, 3]);

@@ -207,6 +207,29 @@ public:
   /// Multi-line dump for debugging and golden tests.
   std::string dump() const;
 
+  /// Serializes the complete logical graph state — union-find raw parent
+  /// slots, every class's e-nodes and parent entries verbatim (including
+  /// stale child ids, which queries canonicalize on the fly), analysis
+  /// data, the generation counter, and the dirty log + compaction floor —
+  /// behind a magic/version/checksum header (see docs/ARCHITECTURE.md,
+  /// "Snapshot format"). Restoring and continuing is bit-identical to
+  /// never having snapshotted: dumps match and subsequent saturation or
+  /// extraction visits the same classes in the same order. Reader leases
+  /// (acquireDirtyLease) are bookkeeping about *live* readers and are not
+  /// serialized. Requires a clean graph. Implemented in Snapshot.cpp.
+  void serialize(std::ostream &Os) const;
+
+  /// Restores a snapshot written by serialize() into *this, which must be
+  /// freshly default-constructed. The hash-consing memo and the op-index
+  /// are rebuilt from the class tables (their query results are a pure
+  /// function of the classes). Returns "" on success; on any failure —
+  /// bad magic, version mismatch, truncation, checksum mismatch, count
+  /// fields exceeding the payload, or a payload that decodes to an
+  /// inconsistent graph (the restored state must pass checkInvariants(),
+  /// which runs as the final step) — returns a diagnostic and leaves
+  /// *this empty. Never asserts on malformed input.
+  std::string deserialize(std::istream &Is);
+
   /// Validates the e-graph's internal invariants (canonical hash-consing,
   /// congruence closure, parent-pointer consistency, operator-index
   /// agreement with a full rescan, and counter accuracy). Returns an

@@ -3,6 +3,7 @@
 #include "egraph/RuleSet.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 using namespace shrinkray;
 
@@ -23,7 +24,12 @@ RuleSet::RuleSet(const std::vector<Rewrite> &Rules) : Rules(Rules) {
       Groups.back().RootOp = Root;
     }
     Group &Grp = Groups[GI];
-    assert(Grp.RuleIds.size() < MaxGroupRules && "root-op group overflow");
+    // A silently truncated group would drop rules from saturation, so the
+    // cap is enforced in release builds too.
+    if (Grp.RuleIds.size() >= MaxGroupRules) {
+      assert(false && "root-op group overflow: raise RuleSet::MaxGroupRules");
+      std::abort();
+    }
     RuleGroup[R] = static_cast<uint32_t>(GI);
     uint32_t Local = static_cast<uint32_t>(Grp.RuleIds.size());
     Grp.RuleIds.push_back(static_cast<uint32_t>(R));
@@ -89,13 +95,13 @@ void RuleSet::searchGroup(
   }
 
   EClassId Root = 0;
-  uint64_t Mask = 0;
+  RuleMask Mask;
 
   // Completes one substitution for every Mask-selected rule tagged on N
   // (guards run here, at the leaf, so a rejection never prunes siblings).
   auto emitLeaves = [&](const TrieNode &N) {
     for (uint32_t Leaf : N.Leaves) {
-      if (!(Mask & (uint64_t(1) << Leaf)))
+      if (!Mask.test(Leaf))
         continue;
       const Rewrite &RW = Rules[Grp.RuleIds[Leaf]];
       Subst S;
@@ -140,7 +146,7 @@ void RuleSet::searchGroup(
   };
 
   for (const Candidate &Cand : Cands) {
-    if (!Cand.Mask)
+    if (!Cand.Mask.any())
       continue;
     Root = Cand.Class;
     Mask = Cand.Mask;

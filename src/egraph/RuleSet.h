@@ -52,9 +52,49 @@ namespace shrinkray {
 /// that vector alive (and unmodified) for the RuleSet's lifetime.
 class RuleSet {
 public:
-  /// Hard cap on rules per root-operator group (candidate masks are one
-  /// 64-bit word). The pipeline database's largest group is ~10 rules.
-  static constexpr size_t MaxGroupRules = 64;
+  /// Hard cap on rules per root-operator group (candidate masks are a
+  /// fixed RuleMask bitset of this many bits). The pipeline database's
+  /// largest group is ~10 rules, so 128 leaves an order of magnitude of
+  /// headroom while keeping Candidate small on the per-iteration
+  /// scheduling path; overflowing it is a hard error (abort, not a
+  /// silently truncated group) — raising the constant is the whole fix
+  /// if a grown database ever needs more.
+  static constexpr size_t MaxGroupRules = 128;
+
+  /// Fixed-width bitset over a group's local rule indices (bit i =
+  /// groupRules(GI)[i]). Replaces the former single uint64_t so groups
+  /// past 64 rules keep exact per-candidate rule selection.
+  struct RuleMask {
+    static constexpr size_t Words = (MaxGroupRules + 63) / 64;
+    uint64_t W[Words] = {};
+
+    void set(size_t I) {
+      assert(I < MaxGroupRules && "rule mask bit out of range");
+      W[I >> 6] |= uint64_t(1) << (I & 63);
+    }
+    bool test(size_t I) const {
+      assert(I < MaxGroupRules && "rule mask bit out of range");
+      return (W[I >> 6] >> (I & 63)) & 1;
+    }
+    bool any() const {
+      for (uint64_t Word : W)
+        if (Word)
+          return true;
+      return false;
+    }
+    RuleMask &operator|=(const RuleMask &O) {
+      for (size_t I = 0; I < Words; ++I)
+        W[I] |= O.W[I];
+      return *this;
+    }
+    /// The mask selecting local rules 0..N-1 (a fully active group).
+    static RuleMask firstN(size_t N) {
+      RuleMask M;
+      for (size_t I = 0; I < N; ++I)
+        M.set(I);
+      return M;
+    }
+  };
 
   /// Compiles \p Rules. Every left-hand side must be rooted at a concrete
   /// operator (true of the whole rule database; asserted).
@@ -91,7 +131,7 @@ public:
   /// in it (bit i = groupRules(GI)[i]).
   struct Candidate {
     EClassId Class;
-    uint64_t Mask;
+    RuleMask Mask;
   };
 
   /// Runs group \p GI's trie over \p Cands, appending each completed

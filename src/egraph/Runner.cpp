@@ -202,8 +202,22 @@ RunnerReport Runner::run(EGraph &G, const RuleSet &DB) const {
   const size_t Threads = resolveThreads(Limits.NumThreads);
   SearchPool Pool(Threads > 1 ? Threads - 1 : 0);
 
+  // Pre-search cursor snapshots for the mid-apply ban's rollback; hoisted
+  // out of the iteration loop so the common no-ban iteration pays one
+  // assign() into existing capacity, not fresh allocations.
+  std::vector<uint64_t> CursorBefore;
+  std::vector<char> EverBefore;
+
   G.rebuild();
   for (size_t Iter = 0; Iter < Limits.IterLimit; ++Iter) {
+    // Cooperative cancellation, iteration-granular: stopping here leaves
+    // the graph clean and every cursor sound, so a cancelled run's graph
+    // can be resumed (or snapshotted) with no special cases.
+    if (Limits.Cancel.cancelled()) {
+      Report.Stop = StopReason::Cancelled;
+      Report.Seconds = elapsed();
+      return Report;
+    }
     const auto IterStart = Clock::now();
     IterationStats Stats;
     size_t NodesBefore = G.numNodes();
@@ -219,17 +233,9 @@ RunnerReport Runner::run(EGraph &G, const RuleSet &DB) const {
       return It->second;
     };
 
-    // Windowed backoff trigger: a rule whose incremental streak merged
-    // more than MatchLimit distinct new matches is as explosive as one
-    // full search finding that many — ban it before searching again.
-    for (size_t R = 0; R < NumRules; ++R) {
-      if (BannedUntil[R] > Iter || WindowMerged[R] <= Limits.MatchLimit)
-        continue;
-      BannedUntil[R] = Iter + BanLength[R];
-      BanLength[R] *= 2;
-      WindowMerged[R] = 0;
-      ++Report.Rules[R].Bans;
-    }
+    // (The windowed backoff trigger fires mid-apply in phase 2 below, the
+    // moment a rule's incremental streak crosses MatchLimit — so between
+    // iterations every rule's WindowMerged is already <= the limit.)
 
     // Phase 1a (serial): schedule every non-banned rule — full indexed
     // search or dirty-restricted incremental — and assemble one candidate
@@ -293,21 +299,21 @@ RunnerReport Runner::run(EGraph &G, const RuleSet &DB) const {
         continue; // whole group banned
       std::vector<RuleSet::Candidate> &Cands = GroupCands[GI];
       if (AllSame) {
-        uint64_t Mask = 0;
+        RuleSet::RuleMask Mask;
         for (size_t B = 0; B < Members.size(); ++B)
           if (MemberList[B])
-            Mask |= uint64_t(1) << B;
+            Mask.set(B);
         Cands.reserve(FirstList->size());
         for (EClassId Id : *FirstList)
           Cands.push_back({Id, Mask});
       } else {
         // Cursors diverged (bans): merge the sorted per-rule lists into
         // one ascending list of (class, rule mask).
-        std::unordered_map<EClassId, uint64_t> Merged;
+        std::unordered_map<EClassId, RuleSet::RuleMask> Merged;
         for (size_t B = 0; B < Members.size(); ++B)
           if (MemberList[B])
             for (EClassId Id : *MemberList[B])
-              Merged[Id] |= uint64_t(1) << B;
+              Merged[Id].set(B);
         Cands.reserve(Merged.size());
         for (const auto &[Id, Mask] : Merged)
           Cands.push_back({Id, Mask});
@@ -371,8 +377,12 @@ RunnerReport Runner::run(EGraph &G, const RuleSet &DB) const {
       SearchedNow[R] = 1;
       if (AllMatches[R].size() > Limits.MatchLimit) {
         // Explosive rule: skip it this iteration and ban it for a while,
-        // doubling the ban each time (exponential backoff).
-        BannedUntil[R] = Iter + BanLength[R];
+        // doubling the ban each time (exponential backoff). Like the
+        // mid-apply trigger below, the ban covers the *next* BanLength
+        // iterations — `Iter + BanLength` would make a BanLength of 1 a
+        // no-op (the `> Iter` check at the next iteration already
+        // passes) and re-run the same over-limit search immediately.
+        BannedUntil[R] = Iter + 1 + BanLength[R];
         BanLength[R] *= 2;
         ++RS.Bans;
         AllMatches[R].clear();
@@ -382,8 +392,12 @@ RunnerReport Runner::run(EGraph &G, const RuleSet &DB) const {
     }
 
     // Searches ran against an unmodified graph, so one generation stamp
-    // covers them all; everything the applies below touch is newer.
+    // covers them all; everything the applies below touch is newer. The
+    // pre-search cursor values are kept so a mid-apply ban can roll a
+    // rule back (its unapplied matches must be re-findable later).
     const uint64_t GenAfterSearch = G.generation();
+    CursorBefore.assign(LastSearchGen.begin(), LastSearchGen.end());
+    EverBefore.assign(EverSearched.begin(), EverSearched.end());
     for (size_t R = 0; R < NumRules; ++R)
       if (SearchedNow[R]) {
         LastSearchGen[R] = GenAfterSearch;
@@ -394,7 +408,13 @@ RunnerReport Runner::run(EGraph &G, const RuleSet &DB) const {
     Stats.SearchSec = secondsSince(SearchStart);
 
     // Phase 2: apply everything not yet in the applied memo, then restore
-    // invariants once.
+    // invariants once. The windowed backoff trigger is enforced here,
+    // per merge: the moment a rule's incremental streak crosses
+    // MatchLimit it is banned, its remaining matches are discarded, and
+    // its cursor rolls back to the pre-search value — so the discarded
+    // matches are re-found after the ban (dirtiness is monotone) instead
+    // of being lost, and the streak is capped near the limit even when a
+    // single iteration would have merged many times it.
     const auto ApplyStart = Clock::now();
     std::vector<EClassId> Key;
     for (size_t R = 0; R < NumRules; ++R) {
@@ -403,6 +423,7 @@ RunnerReport Runner::run(EGraph &G, const RuleSet &DB) const {
       RuleStats &RS = Report.Rules[R];
       const auto RuleApplyStart = Clock::now();
       const std::vector<Symbol> &Vars = Rules[R].lhs().vars();
+      bool WindowBan = false;
       for (const auto &[Root, S] : AllMatches[R]) {
         Key.clear();
         Key.push_back(G.find(Root));
@@ -417,8 +438,20 @@ RunnerReport Runner::run(EGraph &G, const RuleSet &DB) const {
         if (Outcome == Rewrite::ApplyOutcome::Changed) {
           ++Stats.Applied;
           ++RS.Applied;
-          ++WindowMerged[R];
+          if (++WindowMerged[R] > Limits.MatchLimit) {
+            WindowBan = true;
+            break;
+          }
         }
+      }
+      if (WindowBan) {
+        // Ban starts next iteration and doubles like the search trigger.
+        BannedUntil[R] = Iter + 1 + BanLength[R];
+        BanLength[R] *= 2;
+        WindowMerged[R] = 0;
+        ++RS.Bans;
+        LastSearchGen[R] = CursorBefore[R];
+        EverSearched[R] = EverBefore[R];
       }
       RS.ApplySec += secondsSince(RuleApplyStart);
     }
@@ -451,9 +484,23 @@ RunnerReport Runner::run(EGraph &G, const RuleSet &DB) const {
 
     bool Changed = Stats.Applied > 0 || Stats.Nodes != NodesBefore;
     if (!Changed) {
-      Report.Stop = StopReason::Saturated;
-      Report.Seconds = elapsed();
-      return Report;
+      // A quiet iteration proves saturation only if every rule actually
+      // participated: a rule banned this iteration may still have pending
+      // matches (the windowed trigger discards matches and rolls cursors
+      // back). Idle through the remaining ban iterations instead — they
+      // cost one empty search round each — and re-test once the banned
+      // rule has had its say.
+      bool AnyBanned = false;
+      for (size_t R = 0; R < NumRules; ++R)
+        if (BannedUntil[R] > Iter) {
+          AnyBanned = true;
+          break;
+        }
+      if (!AnyBanned) {
+        Report.Stop = StopReason::Saturated;
+        Report.Seconds = elapsed();
+        return Report;
+      }
     }
     if (Stats.Nodes > Limits.NodeLimit) {
       Report.Stop = StopReason::NodeLimit;

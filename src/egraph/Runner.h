@@ -43,6 +43,7 @@
 #define SHRINKRAY_EGRAPH_RUNNER_H
 
 #include "egraph/RuleSet.h"
+#include "support/Cancel.h"
 
 #include <vector>
 
@@ -57,20 +58,34 @@ struct RunnerLimits {
   double TimeLimitSec = 60.0;   ///< wall-clock budget
   /// Backoff threshold, enforced two ways: a single search that *finds*
   /// more than this many matches is discarded and the rule banned (search
-  /// cost control, as before), and a rule whose applied-match memo grows
-  /// by more than this many distinct merged matches within one incremental
-  /// streak (between full searches) is banned at its next search
-  /// (growth-rate control — incremental searches shrink per-search counts,
-  /// so without the windowed trigger explosive rules dodge their bans).
+  /// cost control, as before), and a rule whose distinct merged matches
+  /// accumulated across one incremental streak (between full searches)
+  /// cross this limit is banned *at that moment, mid-apply* (growth-rate
+  /// control — incremental searches shrink per-search counts, so without
+  /// the windowed trigger explosive rules dodge their bans). The mid-apply
+  /// trigger caps the streak near the limit even when a single iteration
+  /// would merge many times it: the rule's remaining matches this
+  /// iteration are discarded and its search cursor rolled back, so the
+  /// discarded work is re-found when the ban expires (dirtiness is
+  /// monotone) and saturation still converges to the identical graph.
   size_t MatchLimit = 20000;
   size_t BanLengthIters = 3;    ///< initial ban length when a rule overflows
   /// Worker threads for the search phase. 0 = auto (min(4, hardware
   /// concurrency)); 1 = serial. Any value produces bit-identical results.
   size_t NumThreads = 0;
+  /// Cooperative cancellation (service jobs, deadlines). Checked at
+  /// saturation-iteration boundaries — never mid-iteration, so a run that
+  /// observes cancellation stops on a clean, rebuilt graph with all rule
+  /// cursors sound, and continuing the same graph later stays
+  /// bit-identical to an uninterrupted run. Default-constructed tokens
+  /// are inert (one null check per iteration). The explicit {} keeps
+  /// designated-initializer users (RunnerLimits{.IterLimit = ...})
+  /// clean under -Wmissing-field-initializers.
+  CancelToken Cancel{};
 };
 
 /// Why a run stopped.
-enum class StopReason { Saturated, IterLimit, NodeLimit, TimeLimit };
+enum class StopReason { Saturated, IterLimit, NodeLimit, TimeLimit, Cancelled };
 
 /// Per-iteration statistics.
 struct IterationStats {

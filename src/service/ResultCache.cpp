@@ -1,0 +1,287 @@
+//===-- service/ResultCache.cpp - Content-addressed result cache ----------===//
+//
+// Part of the ShrinkRay reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fingerprinting and the disk format behind ResultCache. One entry is a
+/// small text file:
+///
+///   shrinkray-result-cache v1
+///   key <48 hex>
+///   programs <N>
+///   <cost as 16 raw IEEE hex digits> <canonical s-expression>   (N lines)
+///
+/// Writes go to `<path>.tmp.<pid>` and are renamed into place, so
+/// concurrent processes sharing a cache directory see either the old file
+/// or the complete new one. Any parse failure on read — wrong header,
+/// key mismatch (a hash collision or a renamed file), bad cost bits, an
+/// s-expression that no longer parses — degrades to a cache miss.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/ResultCache.h"
+
+#include "cad/Sexp.h"
+#include "support/Hashing.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+using namespace shrinkray;
+using namespace shrinkray::service;
+
+namespace {
+
+std::string hex16(uint64_t V) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof Buf, "%016" PRIx64, V);
+  return Buf;
+}
+
+} // namespace
+
+std::string CacheKey::hex() const {
+  return hex16(InputHash) + hex16(RulesFp) + hex16(OptionsFp);
+}
+
+namespace {
+
+/// Accumulates a process-stable, value-level fingerprint of \p T:
+/// symbols contribute their *spellings* (termValueHash hashes Symbol
+/// interning ids, which depend on interning order and so differ between
+/// processes sharing a disk cache), and numeric literals contribute
+/// their value across the Int/Float divide (Int 5 == Float 5.0, the
+/// same aliasing termValueHash guarantees in-process). Injective up to
+/// that equivalence: every field is length- or count-prefixed.
+void stableTermFingerprintRec(const Term &T, Fnv1a &F) {
+  const Op &O = T.op();
+  switch (O.kind()) {
+  case OpKind::Int:
+  case OpKind::Float: {
+    F.u64(uint64_t(1) << 32); // shared numeric tag
+    double V = O.numericValue();
+    F.f64(V == 0.0 ? 0.0 : V); // canonicalize -0.0
+    break;
+  }
+  case OpKind::Var:
+  case OpKind::External:
+  case OpKind::PatVar:
+    F.u64(static_cast<uint64_t>(O.kind()));
+    F.str(O.symbol().str());
+    break;
+  case OpKind::OpRef:
+    F.u64(static_cast<uint64_t>(O.kind()));
+    F.u64(static_cast<uint64_t>(O.referencedOp()));
+    break;
+  default:
+    F.u64(static_cast<uint64_t>(O.kind()));
+    break;
+  }
+  F.u64(T.numChildren());
+  for (const TermPtr &Kid : T.children())
+    stableTermFingerprintRec(*Kid, F);
+}
+
+uint64_t stableTermFingerprint(const TermPtr &T) {
+  Fnv1a F;
+  stableTermFingerprintRec(*T, F);
+  return F.hash();
+}
+
+} // namespace
+
+uint64_t service::ruleDatabaseFingerprint(const std::vector<Rewrite> &Rules) {
+  Fnv1a F;
+  F.u64(Rules.size());
+  for (const Rewrite &R : Rules) {
+    F.str(R.name());
+    F.str(printSexp(R.lhs().term()));
+  }
+  return F.hash();
+}
+
+uint64_t service::optionsFingerprint(const SynthesisOptions &Opts) {
+  Fnv1a F;
+  F.u64(1); // options-fingerprint schema version
+  F.u64(Opts.Limits.IterLimit)
+      .u64(Opts.Limits.NodeLimit)
+      .f64(Opts.Limits.TimeLimitSec)
+      .u64(Opts.Limits.MatchLimit)
+      .u64(Opts.Limits.BanLengthIters);
+  F.f64(Opts.Solver.Epsilon)
+      .f64(Opts.Solver.TrigR2Floor)
+      .u64(static_cast<uint64_t>(Opts.Solver.MaxNiceDenominator));
+  F.u64(Opts.TopK)
+      .u64(static_cast<uint64_t>(Opts.Cost))
+      .u64(Opts.MainLoopIters)
+      .u64(Opts.EnableLoopInference)
+      .u64(Opts.EnableIrregular)
+      .u64(Opts.EnableListSorting)
+      .u64(Opts.MaxFoldSites);
+  return F.hash();
+}
+
+CacheKey service::makeCacheKey(const TermPtr &FlatInput, uint64_t RulesFp,
+                               const SynthesisOptions &Opts) {
+  CacheKey Key;
+  Key.InputHash = stableTermFingerprint(FlatInput);
+  Key.RulesFp = RulesFp;
+  Key.OptionsFp = optionsFingerprint(Opts);
+  return Key;
+}
+
+ResultCache::ResultCache(std::string Dir) : Dir(std::move(Dir)) {}
+
+std::string ResultCache::pathFor(const CacheKey &Key) const {
+  return Dir + "/" + Key.hex() + ".srres";
+}
+
+namespace {
+
+/// Parses one disk entry into \p Programs; any malformed line is a
+/// refusal (the caller treats it as a miss). Pure: no cache state.
+bool readEntryFile(const std::string &Path, const std::string &Hex,
+                   std::vector<RankedTerm> &Programs) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::string Line;
+  if (!std::getline(In, Line) || Line != "shrinkray-result-cache v1" ||
+      !std::getline(In, Line) || Line != "key " + Hex ||
+      !std::getline(In, Line) || Line.rfind("programs ", 0) != 0)
+    return false;
+  size_t N = 0;
+  {
+    std::istringstream Count(Line.substr(strlen("programs ")));
+    if (!(Count >> N) || N > 10000)
+      return false;
+  }
+  Programs.reserve(N);
+  for (size_t I = 0; I < N; ++I) {
+    if (!std::getline(In, Line) || Line.size() < 18 || Line[16] != ' ')
+      return false;
+    const std::string CostHex = Line.substr(0, 16);
+    char *End = nullptr;
+    uint64_t CostBits = std::strtoull(CostHex.c_str(), &End, 16);
+    if (End != CostHex.c_str() + 16)
+      return false; // bad cost bits: the whole field must be hex
+    RankedTerm P;
+    std::memcpy(&P.Cost, &CostBits, sizeof P.Cost);
+    if (std::isnan(P.Cost))
+      return false;
+    ParseResult R = parseSexp(std::string_view(Line).substr(17));
+    if (!R)
+      return false;
+    P.T = R.Value;
+    Programs.push_back(std::move(P));
+  }
+  return true;
+}
+
+} // namespace
+
+std::optional<std::vector<RankedTerm>>
+ResultCache::lookup(const CacheKey &Key) {
+  const std::string Hex = Key.hex();
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    auto It = Mem.find(Hex);
+    if (It != Mem.end()) {
+      ++St.Hits;
+      return It->second;
+    }
+    if (Dir.empty()) {
+      ++St.Misses;
+      return std::nullopt;
+    }
+  }
+
+  // Disk probe outside the lock: a slow filesystem must not serialize
+  // other workers' in-memory hits. Two threads racing the same cold key
+  // both read the file — benign, last insert wins with equal content.
+  std::vector<RankedTerm> Programs;
+  const bool Read = readEntryFile(pathFor(Key), Hex, Programs);
+  std::lock_guard<std::mutex> Lock(M);
+  if (!Read) {
+    ++St.Misses;
+    return std::nullopt;
+  }
+  ++St.Hits;
+  ++St.DiskHits;
+  Mem[Hex] = Programs;
+  return Programs;
+}
+
+void ResultCache::store(const CacheKey &Key,
+                        const std::vector<RankedTerm> &Programs) {
+  const std::string Hex = Key.hex();
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    ++St.Stores;
+    Mem[Hex] = Programs;
+  }
+  if (Dir.empty())
+    return;
+
+  // File write outside the lock (see lookup): the tmp-name + rename
+  // protocol already tolerates concurrent writers of the same key.
+  std::error_code Ec;
+  std::filesystem::create_directories(Dir, Ec);
+  if (Ec)
+    return; // cache degrades to memory-only; synthesis already succeeded
+
+  std::ostringstream Os;
+  Os << "shrinkray-result-cache v1\n"
+     << "key " << Hex << "\n"
+     << "programs " << Programs.size() << "\n";
+  for (const RankedTerm &P : Programs) {
+    uint64_t CostBits;
+    std::memcpy(&CostBits, &P.Cost, sizeof CostBits);
+    Os << hex16(CostBits) << " " << printSexp(P.T) << "\n";
+  }
+
+  const std::string Path = pathFor(Key);
+  // Unique per process *and* thread: with the lock no longer covering
+  // the write, two workers storing the same key must not share a tmp.
+  const std::string Tmp =
+      Path + ".tmp." +
+      std::to_string(static_cast<unsigned long>(
+#ifdef _WIN32
+          0
+#else
+          ::getpid()
+#endif
+          )) +
+      "." +
+      std::to_string(std::hash<std::thread::id>()(std::this_thread::get_id()));
+  bool Written = false;
+  {
+    std::ofstream Out(Tmp, std::ios::trunc);
+    if (Out) {
+      Out << Os.str();
+      Written = Out.good();
+    }
+  }
+  if (Written)
+    std::filesystem::rename(Tmp, Path, Ec);
+  // Failed writes and failed renames both clean up the tmp: a long-lived
+  // service on a flaky disk must not accumulate orphans.
+  if (!Written || Ec)
+    std::filesystem::remove(Tmp, Ec);
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return St;
+}

@@ -1,0 +1,166 @@
+//===-- service/SynthesisService.h - Concurrent job scheduler ---*- C++ -*-===//
+//
+// Part of the ShrinkRay reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The synthesis service: a fixed pool of worker threads draining a FIFO
+/// job queue, with per-job deadlines, cooperative cancellation, and the
+/// content-addressed result cache in front of the pipeline. This is the
+/// layer a batch driver (tools/shrinkray_batch), a throughput harness
+/// (bench_throughput), or a future RPC front end submits work to.
+///
+/// Job lifecycle:
+///
+///   submit(JobSpec)  ->  Pending (queued)
+///                    ->  Running (a worker picked it up; the deadline is
+///                        armed from this moment, so queue time never
+///                        counts against a job's budget)
+///                    ->  Done, with one of four outcomes:
+///                          CacheHit   — served from the result cache
+///                          Succeeded  — full pipeline run (stored in the
+///                                       cache for the next request)
+///                          Cancelled  — deadline or cancel() fired; the
+///                                       result is partial but well-formed
+///                          Failed     — unparseable/invalid input
+///
+/// Concurrency contract: each job's synthesis is a pure function of its
+/// input and options (the engines share no mutable state across jobs, and
+/// the symbol interner is thread-safe), so N jobs on K workers produce
+/// outputs byte-identical to the same jobs run one at a time — the
+/// scheduler only changes wall-clock, never results. Worker threads run
+/// jobs with Runner-internal threading forced to 1 by default
+/// (ServiceConfig::JobNumThreads): the pool is the parallelism.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHRINKRAY_SERVICE_SYNTHESISSERVICE_H
+#define SHRINKRAY_SERVICE_SYNTHESISSERVICE_H
+
+#include "service/ResultCache.h"
+#include "support/Cancel.h"
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <thread>
+
+namespace shrinkray {
+namespace service {
+
+/// Service-wide configuration.
+struct ServiceConfig {
+  /// Worker threads. 0 = one per hardware thread.
+  size_t NumWorkers = 4;
+  /// Result-cache directory; empty = in-memory cache only.
+  std::string CacheDir;
+  /// Master switch for the result cache (lookups and stores).
+  bool EnableCache = true;
+  /// Override for each job's RunnerLimits::NumThreads. The default of 1
+  /// keeps worker_count == thread_count (results are bit-identical at any
+  /// setting, so this is purely a scheduling choice); 0 = leave the
+  /// job's own value untouched.
+  size_t JobNumThreads = 1;
+};
+
+/// One synthesis request.
+struct JobSpec {
+  std::string Name;        ///< label for logs/results (e.g. file name)
+  /// The input, one of:
+  ///  * Input     — an in-memory flat-CSG term (takes precedence), or
+  ///  * Source    — program text: OpenSCAD when SourceIsScad, else a
+  ///                LambdaCAD s-expression (flattened first when it
+  ///                contains loops).
+  TermPtr Input;
+  std::string Source;
+  bool SourceIsScad = false;
+  SynthesisOptions Options;
+  /// Wall-clock budget measured from the moment a worker starts the job;
+  /// 0 = no deadline. Enforced cooperatively (see support/Cancel.h).
+  double DeadlineSec = 0.0;
+};
+
+/// Terminal state of a job.
+struct JobOutcome {
+  enum class Status { CacheHit, Succeeded, Cancelled, Failed };
+  Status St = Status::Failed;
+  /// Synthesis output. On CacheHit only Programs is populated; on
+  /// Cancelled it holds the partial result; on Failed it is empty.
+  SynthesisResult Result;
+  std::string Error;       ///< diagnostic when Failed
+  double QueueSec = 0.0;   ///< submit -> worker pickup
+  double RunSec = 0.0;     ///< worker pickup -> done
+
+  bool ok() const { return St != Status::Failed; }
+};
+
+/// Fixed-pool synthesis job scheduler. All public methods are
+/// thread-safe; JobIds are process-local and never reused.
+class SynthesisService {
+public:
+  using JobId = uint64_t;
+
+  explicit SynthesisService(ServiceConfig Cfg = {});
+
+  /// Requests cancellation of the running jobs, completes still-queued
+  /// jobs as Cancelled (so a concurrent wait() on any job returns rather
+  /// than sleeping through teardown), then joins the workers. Outcomes
+  /// of unwaited jobs are discarded with the service; waiters must
+  /// return before the service is destroyed, as the outcomes they
+  /// reference live in it.
+  ~SynthesisService();
+
+  SynthesisService(const SynthesisService &) = delete;
+  SynthesisService &operator=(const SynthesisService &) = delete;
+
+  /// Enqueues a job; returns immediately.
+  JobId submit(JobSpec Spec);
+
+  /// Blocks until \p Id is done; the reference stays valid for the
+  /// service's lifetime.
+  const JobOutcome &wait(JobId Id);
+
+  /// Requests cooperative cancellation of \p Id. A still-queued job
+  /// completes immediately as Cancelled without running; a running job
+  /// winds down at its next cancellation check with a partial result.
+  /// Returns false for unknown or already-finished jobs.
+  bool cancel(JobId Id);
+
+  size_t numWorkers() const { return Workers.size(); }
+
+  ResultCache &cache() { return Cache; }
+
+private:
+  enum class JobState { Pending, Running, Done };
+
+  struct Job {
+    JobSpec Spec;
+    CancelToken Token = CancelToken::make();
+    JobState State = JobState::Pending;
+    JobOutcome Outcome;
+    std::chrono::steady_clock::time_point Submitted;
+  };
+
+  ServiceConfig Cfg;
+  ResultCache Cache;
+  uint64_t RulesFp; ///< pipeline rule-database fingerprint, computed once
+
+  mutable std::mutex M;
+  std::condition_variable WorkCV; ///< workers: queue non-empty or stopping
+  std::condition_variable DoneCV; ///< waiters: some job finished
+  std::deque<JobId> Queue;
+  std::unordered_map<JobId, std::unique_ptr<Job>> Jobs;
+  JobId NextId = 1;
+  bool Stopping = false;
+  std::vector<std::thread> Workers;
+
+  void workerLoop();
+  /// Runs \p J outside the lock; fills J.Outcome.
+  void runJob(Job &J);
+};
+
+} // namespace service
+} // namespace shrinkray
+
+#endif // SHRINKRAY_SERVICE_SYNTHESISSERVICE_H

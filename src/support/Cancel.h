@@ -1,0 +1,98 @@
+//===-- support/Cancel.h - Cooperative cancellation -------------*- C++ -*-===//
+//
+// Part of the ShrinkRay reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A cooperative cancellation token shared between a job's owner and the
+/// engine loops doing its work. The service layer hands one token per
+/// synthesis job to the Runner (checked at saturation-iteration
+/// boundaries) and the Synthesizer (checked between pipeline phases and
+/// between fold sites); cancel() — called from any thread — or an armed
+/// deadline makes the next check wind the job down with whatever partial
+/// result it has. Default-constructed tokens are *inert*: they can never
+/// be cancelled and cost one null-pointer test per check, so the
+/// single-job CLI path pays nothing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHRINKRAY_SUPPORT_CANCEL_H
+#define SHRINKRAY_SUPPORT_CANCEL_H
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+namespace shrinkray {
+
+/// Shared-state cancellation handle. Copies observe (and can trigger) the
+/// same cancellation; all members are safe to call from any thread.
+class CancelToken {
+public:
+  /// Inert token: cancelled() is always false, cancel() is a no-op.
+  CancelToken() = default;
+
+  /// A fresh, live token (not yet cancelled, no deadline).
+  static CancelToken make() {
+    CancelToken T;
+    T.S = std::make_shared<State>();
+    return T;
+  }
+
+  /// A live token that auto-cancels \p Seconds from now.
+  static CancelToken withDeadline(double Seconds) {
+    CancelToken T = make();
+    T.armDeadline(Seconds);
+    return T;
+  }
+
+  /// True when this token can ever report cancellation (non-inert).
+  bool valid() const { return S != nullptr; }
+
+  /// Requests cancellation. No-op on an inert token.
+  void cancel() const {
+    if (S)
+      S->Flag.store(true, std::memory_order_release);
+  }
+
+  /// Arms (or re-arms) the deadline \p Seconds from now. The deadline is
+  /// evaluated lazily inside cancelled(); no timer thread exists. Must not
+  /// race with concurrent cancelled() callers — arm before handing the
+  /// token to the engines (the service arms it when the job starts).
+  void armDeadline(double Seconds) const {
+    if (!S)
+      return;
+    S->Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(Seconds));
+    S->HasDeadline.store(true, std::memory_order_release);
+  }
+
+  /// True once cancel() ran or an armed deadline passed. The deadline
+  /// check latches into the flag so later calls are one atomic load.
+  bool cancelled() const {
+    if (!S)
+      return false;
+    if (S->Flag.load(std::memory_order_acquire))
+      return true;
+    if (S->HasDeadline.load(std::memory_order_acquire) &&
+        std::chrono::steady_clock::now() >= S->Deadline) {
+      S->Flag.store(true, std::memory_order_release);
+      return true;
+    }
+    return false;
+  }
+
+private:
+  struct State {
+    std::atomic<bool> Flag{false};
+    std::atomic<bool> HasDeadline{false};
+    std::chrono::steady_clock::time_point Deadline{};
+  };
+  std::shared_ptr<State> S;
+};
+
+} // namespace shrinkray
+
+#endif // SHRINKRAY_SUPPORT_CANCEL_H

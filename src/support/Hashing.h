@@ -43,6 +43,46 @@ inline size_t hashDouble(double D) {
   return std::hash<uint64_t>()(Bits);
 }
 
+/// Incremental byte-wise FNV-1a accumulator over heterogeneous input —
+/// the one implementation behind snapshot checksums and the result
+/// cache's fingerprints. Stable across processes and platforms of the
+/// same endianness (the snapshot/cache formats are little-endian
+/// by construction). Not for hot per-node hashing: the e-graph tables
+/// use the word-wise combinators above.
+class Fnv1a {
+public:
+  Fnv1a &bytes(const void *P, size_t N) {
+    const unsigned char *B = static_cast<const unsigned char *>(P);
+    for (size_t I = 0; I < N; ++I) {
+      H ^= B[I];
+      H *= 1099511628211ull;
+    }
+    return *this;
+  }
+  Fnv1a &u64(uint64_t V) {
+    for (int I = 0; I < 8; ++I) {
+      H ^= (V >> (I * 8)) & 0xff;
+      H *= 1099511628211ull;
+    }
+    return *this;
+  }
+  Fnv1a &f64(double V) {
+    uint64_t Bits;
+    std::memcpy(&Bits, &V, sizeof Bits);
+    return u64(Bits);
+  }
+  /// Length-prefixed, so adjacent strings cannot alias ("ab","c" vs
+  /// "a","bc").
+  template <typename StringLike> Fnv1a &str(const StringLike &S) {
+    u64(S.size());
+    return bytes(S.data(), S.size());
+  }
+  uint64_t hash() const { return H; }
+
+private:
+  uint64_t H = 1469598103934665603ull;
+};
+
 } // namespace shrinkray
 
 #endif // SHRINKRAY_SUPPORT_HASHING_H

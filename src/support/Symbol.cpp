@@ -3,6 +3,7 @@
 #include "support/Symbol.h"
 
 #include <deque>
+#include <mutex>
 #include <unordered_map>
 
 using namespace shrinkray;
@@ -10,8 +11,14 @@ using namespace shrinkray;
 namespace {
 
 /// Process-wide intern table. Wrapped in a function-local static so that no
-/// static constructor runs at load time.
+/// static constructor runs at load time. Guarded by a mutex: the service
+/// layer runs synthesis jobs on concurrent worker threads, each of which
+/// interns symbols (pattern parsing, scad variables, solver-inserted
+/// programs). The deque gives pointer stability, so string_views handed
+/// out before a lock was ever contended never dangle — the lock only
+/// protects the table's internal growth.
 struct InternTable {
+  std::mutex M;
   // deque gives pointer stability so string_views handed out never dangle.
   std::deque<std::string> Spellings;
   std::unordered_map<std::string_view, uint32_t> Ids;
@@ -22,6 +29,7 @@ struct InternTable {
   }
 
   uint32_t intern(std::string_view S) {
+    std::lock_guard<std::mutex> Lock(M);
     auto It = Ids.find(S);
     if (It != Ids.end())
       return It->second;
@@ -29,6 +37,11 @@ struct InternTable {
     uint32_t Id = static_cast<uint32_t>(Spellings.size() - 1);
     Ids.emplace(Spellings.back(), Id);
     return Id;
+  }
+
+  std::string_view spelling(uint32_t Id) {
+    std::lock_guard<std::mutex> Lock(M);
+    return Spellings[Id];
   }
 };
 
@@ -41,4 +54,4 @@ static InternTable &table() {
 
 Symbol::Symbol(std::string_view Spelling) : Id(table().intern(Spelling)) {}
 
-std::string_view Symbol::str() const { return table().Spellings[Id]; }
+std::string_view Symbol::str() const { return table().spelling(Id); }

@@ -66,16 +66,31 @@ SynthesisResult Synthesizer::synthesize(const TermPtr &FlatCsg) const {
   // costs time proportional to what the round changed.
   std::unique_ptr<KBestExtractor> Extraction;
 
+  // Cooperative cancellation: the job's token rides in on the runner
+  // limits and is checked between phases and between fold sites. Once it
+  // fires, remaining work is skipped and extraction returns whatever the
+  // graph holds — a partial but well-formed result (Stats.Cancelled).
+  auto cancelled = [&] {
+    if (!Opts.Limits.Cancel.cancelled())
+      return false;
+    Result.Stats.Cancelled = true;
+    return true;
+  };
+
   Runner SaturationRunner(Opts.Limits);
-  for (unsigned Iter = 0; Iter < Opts.MainLoopIters; ++Iter) {
+  for (unsigned Iter = 0; Iter < Opts.MainLoopIters && !cancelled(); ++Iter) {
     // --- Syntactic rewrites (Fig. 5 line 4) -----------------------------
     const auto RewriteStart = Clock::now();
     Result.Stats.Rewriting = SaturationRunner.run(G, CompiledRules);
+    if (Result.Stats.Rewriting.Stop == StopReason::TimeLimit)
+      Result.Stats.WallClockTruncated = true;
     Result.Stats.RewriteSeconds +=
         std::chrono::duration<double>(Clock::now() - RewriteStart).count();
     Result.Stats.RewriteSearchSeconds += Result.Stats.Rewriting.SearchSec;
     Result.Stats.RewriteApplySeconds += Result.Stats.Rewriting.ApplySec;
     Result.Stats.RewriteRebuildSeconds += Result.Stats.Rewriting.RebuildSec;
+    if (cancelled())
+      break;
     const auto SolveStart = Clock::now();
 
     // --- Locate fold contexts -------------------------------------------
@@ -110,6 +125,8 @@ SynthesisResult Synthesizer::synthesize(const TermPtr &FlatCsg) const {
 
     // --- Determinize, sort, and solve each context (Fig. 5 lines 5-7) ---
     for (const auto &[FoldClass, ListClass] : Sites) {
+      if (cancelled())
+        break;
       std::vector<ChainDecomposition> Ds = determinize(G, ListClass);
       Result.Stats.Decompositions += Ds.size();
       for (const ChainDecomposition &D : Ds) {
@@ -147,6 +164,8 @@ SynthesisResult Synthesizer::synthesize(const TermPtr &FlatCsg) const {
     }
     Result.Stats.SolveSeconds +=
         std::chrono::duration<double>(Clock::now() - SolveStart).count();
+    if (cancelled())
+      break;
 
     // --- Top-k extraction (Fig. 5 lines 8-9), kept fresh per round ------
     G.rebuild();
@@ -165,6 +184,12 @@ SynthesisResult Synthesizer::synthesize(const TermPtr &FlatCsg) const {
   if (!Extraction) // MainLoopIters == 0: extract the input graph as-is
     Extraction =
         std::make_unique<KBestExtractor>(G, costFn(Opts.Cost), Opts.TopK);
+  else if (Result.Stats.Cancelled)
+    // A cancelled run broke out before the per-round refresh: re-sync so
+    // the candidate table keys on the current canonical ids (a stale
+    // table can miss the root outright after merges re-rooted its class)
+    // — this is what makes the partial-result contract hold.
+    Extraction->refresh();
   Result.Programs = Extraction->extract(Root);
   Result.Stats.ExtractSeconds +=
       std::chrono::duration<double>(Clock::now() - ExtractStart).count();

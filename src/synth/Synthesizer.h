@@ -44,6 +44,19 @@ struct SynthesisOptions {
 
 /// Statistics of one synthesis run.
 struct SynthesisStats {
+  /// True when the run's cancellation token (SynthesisOptions::Limits.
+  /// Cancel — a deadline or an explicit service-side cancel) fired before
+  /// the pipeline finished. The result is then *partial*: programs come
+  /// from whatever the e-graph held at the cancellation point (always
+  /// well-formed, equivalent terms — just not necessarily the ones a full
+  /// run would rank first).
+  bool Cancelled = false;
+  /// True when *any* main-loop saturation round stopped on the runner's
+  /// wall-clock safety valve (RunnerLimits::TimeLimitSec). Unlike the
+  /// iteration/node fuel limits this is machine- and load-dependent, so
+  /// such results must not enter the shared result cache (Rewriting only
+  /// retains the last round's report — this flag covers them all).
+  bool WallClockTruncated = false;
   RunnerReport Rewriting;      ///< saturation report (last main iteration)
   size_t FoldSites = 0;        ///< fold contexts examined
   size_t Decompositions = 0;   ///< determinized lists solved

@@ -28,6 +28,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -67,9 +68,8 @@ std::vector<std::vector<std::string>> groupedSearch(const EGraph &G,
   std::vector<std::vector<std::pair<EClassId, Subst>>> Out(DB.numRules());
   for (size_t GI = 0; GI < DB.numGroups(); ++GI) {
     const std::vector<EClassId> &Bucket = G.classesWithOp(DB.groupOp(GI));
-    uint64_t Mask = 0;
-    for (size_t B = 0; B < DB.groupRules(GI).size(); ++B)
-      Mask |= uint64_t(1) << B;
+    RuleSet::RuleMask Mask =
+        RuleSet::RuleMask::firstN(DB.groupRules(GI).size());
     std::vector<RuleSet::Candidate> Cands;
     Cands.reserve(Bucket.size());
     for (EClassId Id : Bucket)
@@ -394,6 +394,131 @@ TEST(DirtyLogCompaction, LeaseProtectsIncrementalExtraction) {
   ASSERT_TRUE(Eng.bestCost(Root).has_value());
   EXPECT_EQ(*Eng.bestCost(Root), *Oracle.bestCost(Root));
   EXPECT_TRUE(termEquals(Eng.extract(Root), Oracle.extract(Root)));
+}
+
+TEST(MatchLimitWindow, MidApplyBanCapsStreakNearLimit) {
+  // Six staggered spine walks (cons-repeat-grow advances one level per
+  // spine per iteration) accumulate 6 distinct merges per incremental
+  // iteration. With MatchLimit = 30 the streak crosses the limit partway
+  // through an iteration; the mid-apply trigger must ban the rule at
+  // exactly limit+1 cumulative merges — discarding the iteration's
+  // remaining matches and rolling the cursor back — rather than letting
+  // the whole iteration through and banning at the next one (the old
+  // policy, which overshoots by up to one iteration's merges).
+  auto build = [](EGraph &G) {
+    // Pre-seed every Int literal the walk will materialize, so both the
+    // banned and the unlimited runs allocate identical class ids and the
+    // final dumps are comparable bit for bit.
+    for (int K = 1; K <= 16; ++K)
+      G.addTerm(parse(std::to_string(K)));
+    for (int S = 0; S < 6; ++S) {
+      EClassId X = addLeaf(G, 500 + S);
+      EClassId One = G.addTerm(parse("1"));
+      EClassId Level = G.add(ENode(Op(OpKind::Repeat), {X, One}));
+      for (int L = 0; L < 12; ++L)
+        Level = G.add(ENode(Op(OpKind::Cons), {X, Level}));
+    }
+    for (int I = 0; I < 2000; ++I) // keep dirty closures below the
+      G.add(ENode(Op::makeInt(I + 5000), {})); // full-search fallback
+    G.rebuild();
+  };
+
+  std::vector<Rewrite> Rules;
+  for (Rewrite &R : listAlgebraRules())
+    if (R.name() == "cons-repeat-grow")
+      Rules.push_back(std::move(R));
+  ASSERT_EQ(Rules.size(), 1u);
+
+  EGraph G;
+  build(G);
+  RunnerLimits L;
+  L.MatchLimit = 30;
+  L.IterLimit = 80;
+  RunnerReport Rep = Runner(L).run(G, Rules);
+  EXPECT_GE(Rep.Rules[0].Bans, 1u);
+  // The window trigger, not the per-search one: every search stayed
+  // under the limit.
+  for (const IterationStats &It : Rep.Iterations)
+    EXPECT_LE(It.Matches, L.MatchLimit);
+  // The streak was cut at exactly limit+1 cumulative merges: some
+  // iteration prefix sums to 31. The old next-iteration trigger would
+  // jump from 30 straight to 36.
+  std::vector<size_t> Prefix;
+  size_t Sum = 0;
+  for (const IterationStats &It : Rep.Iterations)
+    Prefix.push_back(Sum += It.Applied);
+  EXPECT_NE(std::find(Prefix.begin(), Prefix.end(), L.MatchLimit + 1),
+            Prefix.end())
+      << "streak not capped at MatchLimit + 1";
+  EXPECT_EQ(G.checkInvariants(), "");
+
+  // Rollback soundness: the discarded matches are re-found after the ban,
+  // and the run converges to the identical graph an unlimited run builds.
+  EGraph Unlimited;
+  build(Unlimited);
+  RunnerLimits UL;
+  UL.IterLimit = 80;
+  RunnerReport URep = Runner(UL).run(Unlimited, Rules);
+  EXPECT_EQ(URep.Stop, StopReason::Saturated);
+  EXPECT_EQ(Rep.Stop, StopReason::Saturated);
+  EXPECT_EQ(G.dump(), Unlimited.dump());
+  EXPECT_EQ(Rep.Rules[0].Applied, URep.Rules[0].Applied);
+}
+
+//===----------------------------------------------------------------------===//
+// Wide groups (masks past 64 rules)
+//===----------------------------------------------------------------------===//
+
+TEST(RuleSetWideGroup, GroupsPast64RulesKeepExactMasks) {
+  // 70 rules rooted at Union exceed one 64-bit mask word. The compiled
+  // group must keep exact per-candidate rule selection for every member
+  // — the former single-word mask would silently drop rules 64..69.
+  std::vector<Rewrite> Rules;
+  for (int I = 0; I < 70; ++I) {
+    std::string Name = "wide-" + std::to_string(I);
+    if (I % 2 == 0)
+      Rules.emplace_back(Name, "(Union ?a ?b)", "(Union ?b ?a)");
+    else
+      Rules.emplace_back(Name, "(Union (Translate ?v ?x) ?b)",
+                         "(Union ?b (Translate ?v ?x))");
+  }
+
+  EGraph G;
+  for (int I = 0; I < 5; ++I)
+    G.add(ENode(Op(OpKind::Union), {addLeaf(G, I), addLeaf(G, 50 + I)}));
+  G.rebuild();
+
+  RuleSet DB(Rules);
+  ASSERT_EQ(DB.numGroups(), 1u);
+  ASSERT_EQ(DB.groupRules(0).size(), 70u);
+
+  // Full differential: grouped search == per-rule search for all 70.
+  expectSameMatches(G, Rules, "wide group");
+
+  // Mask bits above 63 select exactly their rule: a candidate list that
+  // enables only local rule 69 must fill only Out[69].
+  const std::vector<EClassId> &Bucket =
+      G.classesWithOp(DB.groupOp(0));
+  RuleSet::RuleMask Only69;
+  Only69.set(69);
+  std::vector<RuleSet::Candidate> Cands;
+  for (EClassId Id : Bucket)
+    Cands.push_back({Id, Only69});
+  std::vector<std::vector<std::pair<EClassId, Subst>>> Out(DB.numRules());
+  DB.searchGroup(0, G, Cands, Out);
+  for (size_t R = 0; R < Out.size(); ++R) {
+    if (R == 69)
+      EXPECT_FALSE(Out[R].empty());
+    else
+      EXPECT_TRUE(Out[R].empty()) << "rule " << R;
+  }
+
+  // End to end: the Runner drives the wide group to saturation with the
+  // masks flowing through scheduling, and the result is sound.
+  RunnerLimits L;
+  L.IterLimit = 8;
+  Runner(L).run(G, DB);
+  EXPECT_EQ(G.checkInvariants(), "");
 }
 
 TEST(DirtyLogCompaction, ReleasedLeaseUnblocksCompaction) {

@@ -1,0 +1,324 @@
+//===-- tests/service_test.cpp - Synthesis service layer ------------------===//
+//
+// Coverage for the service layer (scheduler + cancellation + result
+// cache):
+//
+//  * scheduler determinism: N concurrent jobs produce outputs
+//    byte-identical to the same jobs run on one worker;
+//  * deadline-cancelled jobs come back promptly with partial-result
+//    status and the pool keeps serving later jobs (no deadlock);
+//  * queued-job cancellation completes without running;
+//  * the content-addressed cache: repeat submissions hit, option changes
+//    miss, entries persist across cache instances through the disk
+//    directory, and corrupt files degrade to misses;
+//  * cancellation-token semantics (inert default, deadline latch).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cad/Sexp.h"
+#include "models/Models.h"
+#include "rewrites/Rules.h"
+#include "service/SynthesisService.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+using namespace shrinkray;
+using namespace shrinkray::service;
+
+namespace {
+
+/// Byte-exact transcript of a job's programs (what "identical outputs"
+/// means throughout this suite).
+std::string transcript(const JobOutcome &Out) {
+  std::string S;
+  for (const RankedTerm &P : Out.Result.Programs)
+    S += printSexp(P.T) + "\n";
+  return S;
+}
+
+/// Runs the whole bench corpus through a service with \p Workers workers
+/// and returns one transcript per model, submission order.
+std::vector<std::string> runCorpus(size_t Workers, bool EnableCache) {
+  ServiceConfig Cfg;
+  Cfg.NumWorkers = Workers;
+  Cfg.EnableCache = EnableCache;
+  SynthesisService Service(Cfg);
+  std::vector<SynthesisService::JobId> Ids;
+  for (const models::BenchmarkModel &M : models::allModels()) {
+    JobSpec Spec;
+    Spec.Name = M.Name;
+    Spec.Input = M.FlatCsg;
+    Ids.push_back(Service.submit(std::move(Spec)));
+  }
+  std::vector<std::string> Out;
+  for (SynthesisService::JobId Id : Ids) {
+    const JobOutcome &O = Service.wait(Id);
+    EXPECT_EQ(O.St, JobOutcome::Status::Succeeded);
+    Out.push_back(transcript(O));
+  }
+  return Out;
+}
+
+std::string tempDir(const char *Name) {
+  std::string Dir = testing::TempDir() + "/" + Name;
+  std::filesystem::remove_all(Dir);
+  return Dir;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Cancellation tokens
+//===----------------------------------------------------------------------===//
+
+TEST(CancelToken, InertDefaultNeverCancels) {
+  CancelToken T;
+  EXPECT_FALSE(T.valid());
+  EXPECT_FALSE(T.cancelled());
+  T.cancel(); // no-op, no crash
+  EXPECT_FALSE(T.cancelled());
+}
+
+TEST(CancelToken, CancelIsSharedAcrossCopies) {
+  CancelToken A = CancelToken::make();
+  CancelToken B = A;
+  EXPECT_FALSE(B.cancelled());
+  A.cancel();
+  EXPECT_TRUE(B.cancelled());
+}
+
+TEST(CancelToken, DeadlineLatches) {
+  CancelToken T = CancelToken::withDeadline(0.005);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(T.cancelled());
+  EXPECT_TRUE(T.cancelled()); // latched, still true
+}
+
+//===----------------------------------------------------------------------===//
+// Scheduler
+//===----------------------------------------------------------------------===//
+
+TEST(SynthesisServiceTest, ConcurrentJobsMatchSequentialByteForByte) {
+  std::vector<std::string> Sequential = runCorpus(1, /*EnableCache=*/false);
+  std::vector<std::string> Concurrent = runCorpus(4, /*EnableCache=*/false);
+  ASSERT_EQ(Sequential.size(), Concurrent.size());
+  std::vector<models::BenchmarkModel> Corpus = models::allModels();
+  for (size_t I = 0; I < Sequential.size(); ++I) {
+    EXPECT_EQ(Sequential[I], Concurrent[I]) << Corpus[I].Name;
+    EXPECT_FALSE(Sequential[I].empty()) << Corpus[I].Name;
+  }
+}
+
+TEST(SynthesisServiceTest, DeadlineReturnsPartialResultWithoutDeadlock) {
+  ServiceConfig Cfg;
+  Cfg.NumWorkers = 2;
+  Cfg.EnableCache = false;
+  SynthesisService Service(Cfg);
+
+  // An impossible budget on the corpus's slowest model: the job must
+  // come back Cancelled — with whatever programs the graph held — and
+  // the pool must keep serving.
+  JobSpec Slow;
+  Slow.Name = "slow";
+  Slow.Input = models::modelByName("3432939:nintendo-slot").FlatCsg;
+  Slow.DeadlineSec = 0.005;
+  SynthesisService::JobId SlowId = Service.submit(std::move(Slow));
+
+  const JobOutcome &SlowOut = Service.wait(SlowId);
+  EXPECT_EQ(SlowOut.St, JobOutcome::Status::Cancelled);
+  EXPECT_TRUE(SlowOut.Result.Stats.Cancelled);
+  // Partial result: extraction still returned the input respelling (or
+  // better) from the partially saturated graph.
+  EXPECT_FALSE(SlowOut.Result.Programs.empty());
+
+  // The pool is alive: a quick follow-up job completes normally.
+  JobSpec Quick;
+  Quick.Name = "quick";
+  Quick.Source = "(Union Unit (Translate (Vec3 2 0 0) Unit))";
+  const JobOutcome &QuickOut = Service.wait(Service.submit(std::move(Quick)));
+  EXPECT_EQ(QuickOut.St, JobOutcome::Status::Succeeded);
+  EXPECT_FALSE(QuickOut.Result.Programs.empty());
+}
+
+TEST(SynthesisServiceTest, CancelQueuedJobCompletesWithoutRunning) {
+  ServiceConfig Cfg;
+  Cfg.NumWorkers = 1; // one worker: the second submission must queue
+  Cfg.EnableCache = false;
+  SynthesisService Service(Cfg);
+
+  JobSpec Slow;
+  Slow.Name = "head";
+  Slow.Input = models::modelByName("3432939:nintendo-slot").FlatCsg;
+  SynthesisService::JobId Head = Service.submit(std::move(Slow));
+
+  JobSpec Queued;
+  Queued.Name = "queued";
+  Queued.Input = models::modelByName("3362402:gear").FlatCsg;
+  SynthesisService::JobId Victim = Service.submit(std::move(Queued));
+  EXPECT_TRUE(Service.cancel(Victim));
+
+  const JobOutcome &VictimOut = Service.wait(Victim);
+  EXPECT_EQ(VictimOut.St, JobOutcome::Status::Cancelled);
+  EXPECT_TRUE(VictimOut.Result.Programs.empty()); // never ran
+  EXPECT_EQ(VictimOut.RunSec, 0.0);
+
+  const JobOutcome &HeadOut = Service.wait(Head);
+  EXPECT_EQ(HeadOut.St, JobOutcome::Status::Succeeded);
+  EXPECT_FALSE(Service.cancel(Victim)); // already done
+}
+
+TEST(SynthesisServiceTest, DestructorCompletesQueuedJobsWithoutHanging) {
+  // Destroying a service with work still queued must cancel the running
+  // job cooperatively and complete the queued ones as Cancelled —
+  // reaching the end of this scope (no deadlocked worker join, no
+  // abandoned Pending job) is the assertion.
+  ServiceConfig Cfg;
+  Cfg.NumWorkers = 1;
+  Cfg.EnableCache = false;
+  {
+    SynthesisService Service(Cfg);
+    JobSpec Spec;
+    Spec.Input = models::modelByName("3362402:gear").FlatCsg;
+    Service.submit(Spec);
+    Service.submit(Spec);
+    Service.submit(Spec);
+  }
+  SUCCEED();
+}
+
+TEST(SynthesisServiceTest, ScadSourceJobsAndParseFailures) {
+  SynthesisService Service;
+
+  JobSpec Scad;
+  Scad.Name = "scad";
+  Scad.Source = "for (i = [0:3]) translate([i*2, 0, 0]) cube(1);\n";
+  Scad.SourceIsScad = true;
+  const JobOutcome &ScadOut = Service.wait(Service.submit(std::move(Scad)));
+  EXPECT_EQ(ScadOut.St, JobOutcome::Status::Succeeded);
+  EXPECT_FALSE(ScadOut.Result.Programs.empty());
+
+  JobSpec Bad;
+  Bad.Name = "bad";
+  Bad.Source = "(Union Unit"; // unbalanced
+  const JobOutcome &BadOut = Service.wait(Service.submit(std::move(Bad)));
+  EXPECT_EQ(BadOut.St, JobOutcome::Status::Failed);
+  EXPECT_FALSE(BadOut.Error.empty());
+
+  JobSpec NotFlat;
+  NotFlat.Name = "loops-input";
+  // Loopy input is flattened first, then synthesized.
+  NotFlat.Source = "(Fold Union Empty (Cons (Translate (Vec3 2 0 0) Unit) "
+                   "(Cons (Translate (Vec3 4 0 0) Unit) Nil)))";
+  const JobOutcome &FlatOut =
+      Service.wait(Service.submit(std::move(NotFlat)));
+  EXPECT_EQ(FlatOut.St, JobOutcome::Status::Succeeded);
+}
+
+//===----------------------------------------------------------------------===//
+// Result cache
+//===----------------------------------------------------------------------===//
+
+TEST(SynthesisServiceTest, RepeatSubmissionHitsCache) {
+  SynthesisService Service; // default config: memory cache enabled
+  JobSpec First;
+  First.Input = models::modelByName("3148599:box-tray").FlatCsg;
+  const JobOutcome &Cold = Service.wait(Service.submit(First));
+  ASSERT_EQ(Cold.St, JobOutcome::Status::Succeeded);
+
+  const JobOutcome &Warm = Service.wait(Service.submit(First));
+  EXPECT_EQ(Warm.St, JobOutcome::Status::CacheHit);
+  EXPECT_EQ(transcript(Warm), transcript(Cold));
+
+  // A different option set is a different key: no false hit.
+  JobSpec OtherK = First;
+  OtherK.Options.TopK = 2;
+  const JobOutcome &Other = Service.wait(Service.submit(OtherK));
+  EXPECT_EQ(Other.St, JobOutcome::Status::Succeeded);
+}
+
+TEST(ResultCacheTest, FingerprintsSeparateResultRelevantOptions) {
+  SynthesisOptions A;
+  SynthesisOptions B = A;
+  EXPECT_EQ(optionsFingerprint(A), optionsFingerprint(B));
+  B.TopK = 3;
+  EXPECT_NE(optionsFingerprint(A), optionsFingerprint(B));
+  B = A;
+  B.Cost = CostKind::RewardLoops;
+  EXPECT_NE(optionsFingerprint(A), optionsFingerprint(B));
+  B = A;
+  B.Solver.Epsilon = 0.5;
+  EXPECT_NE(optionsFingerprint(A), optionsFingerprint(B));
+  // Thread count cannot change results (bit-identical saturation) and
+  // must not fragment the cache.
+  B = A;
+  B.Limits.NumThreads = 7;
+  EXPECT_EQ(optionsFingerprint(A), optionsFingerprint(B));
+}
+
+TEST(ResultCacheTest, InputKeyIsValueLevel) {
+  // Int/Float respellings of the same model address the same entry.
+  TermPtr IntSpelling =
+      parseSexp("(Translate (Vec3 1 2 3) Unit)").Value;
+  TermPtr FloatSpelling =
+      parseSexp("(Translate (Vec3 1.0 2.0 3.0) Unit)").Value;
+  ASSERT_TRUE(IntSpelling && FloatSpelling);
+  SynthesisOptions Opts;
+  EXPECT_EQ(makeCacheKey(IntSpelling, 42, Opts).hex(),
+            makeCacheKey(FloatSpelling, 42, Opts).hex());
+}
+
+TEST(ResultCacheTest, DiskEntriesPersistAcrossInstances) {
+  const std::string Dir = tempDir("srcache_persist");
+  CacheKey Key = makeCacheKey(parseSexp("(Union Unit Sphere)").Value, 7,
+                              SynthesisOptions());
+  std::vector<RankedTerm> Programs;
+  Programs.push_back({parseSexp("(Union Unit Sphere)").Value, 3.0});
+  Programs.push_back({parseSexp("(Union Sphere Unit)").Value, 3.5});
+
+  {
+    ResultCache Writer(Dir);
+    Writer.store(Key, Programs);
+  }
+  ResultCache Reader(Dir); // fresh instance: memory empty, disk warm
+  std::optional<std::vector<RankedTerm>> Hit = Reader.lookup(Key);
+  ASSERT_TRUE(Hit.has_value());
+  ASSERT_EQ(Hit->size(), 2u);
+  EXPECT_TRUE(termEquals((*Hit)[0].T, Programs[0].T));
+  EXPECT_TRUE(termEquals((*Hit)[1].T, Programs[1].T));
+  EXPECT_EQ((*Hit)[0].Cost, 3.0);
+  EXPECT_EQ(Reader.stats().DiskHits, 1u);
+
+  // Second lookup is served from memory.
+  ASSERT_TRUE(Reader.lookup(Key).has_value());
+  EXPECT_EQ(Reader.stats().DiskHits, 1u);
+  EXPECT_EQ(Reader.stats().Hits, 2u);
+}
+
+TEST(ResultCacheTest, CorruptDiskEntriesDegradeToMisses) {
+  const std::string Dir = tempDir("srcache_corrupt");
+  CacheKey Key = makeCacheKey(parseSexp("(Union Unit Sphere)").Value, 7,
+                              SynthesisOptions());
+  {
+    ResultCache Writer(Dir);
+    Writer.store(Key, {{parseSexp("Unit").Value, 1.0}});
+  }
+  // Truncate the entry file mid-way.
+  const std::string Path = Dir + "/" + Key.hex() + ".srres";
+  ASSERT_TRUE(std::filesystem::exists(Path));
+  {
+    std::ofstream Out(Path, std::ios::trunc);
+    Out << "shrinkray-result-cache v1\nkey " << Key.hex() << "\nprograms 2\n";
+  }
+  ResultCache Reader(Dir);
+  EXPECT_FALSE(Reader.lookup(Key).has_value());
+  EXPECT_EQ(Reader.stats().Misses, 1u);
+
+  // A key whose file never existed is a plain miss.
+  CacheKey Other = Key;
+  Other.InputHash ^= 1;
+  EXPECT_FALSE(Reader.lookup(Other).has_value());
+}

@@ -1,0 +1,305 @@
+//===-- tests/snapshot_test.cpp - E-graph snapshot/restore ----------------===//
+//
+// Coverage for EGraph::serialize / EGraph::deserialize:
+//
+//  * byte-level round trip: restore reproduces the dump, the invariants,
+//    the counters, and the dirty-cursor state (generation, log, floor);
+//  * the warm-start contract on all 16 bench models: saturate partway,
+//    snapshot, restore, continue — the continued run is bit-identical
+//    (dump and report fingerprint) to the same two-phase run without the
+//    snapshot in between;
+//  * restored graphs serve incremental extraction and further queries
+//    exactly like the original;
+//  * corrupt input: bad magic, truncation at every structural boundary,
+//    bit flips (checksum), and non-fresh targets are rejected with a
+//    diagnostic, never an assert or a partially-restored graph.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cad/Sexp.h"
+#include "egraph/Extract.h"
+#include "egraph/Runner.h"
+#include "models/Models.h"
+#include "rewrites/Rules.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace shrinkray;
+
+namespace {
+
+TermPtr parse(const std::string &Sexp) {
+  ParseResult R = parseSexp(Sexp);
+  EXPECT_TRUE(R) << R.Error << " in " << Sexp;
+  return R.Value;
+}
+
+std::string snapshotOf(const EGraph &G) {
+  std::ostringstream Os;
+  G.serialize(Os);
+  return Os.str();
+}
+
+/// Restores \p Bytes into \p Out; returns the diagnostic ("" = success).
+std::string restore(const std::string &Bytes, EGraph &Out) {
+  std::istringstream Is(Bytes);
+  return Out.deserialize(Is);
+}
+
+/// Non-timing fingerprint of a saturation report (same spirit as the
+/// ruleset suite's): stop reason, per-iteration match/apply/node counts,
+/// and per-rule counters.
+std::string reportFingerprint(const RunnerReport &Rep) {
+  std::ostringstream Os;
+  Os << static_cast<int>(Rep.Stop) << ";";
+  for (const IterationStats &It : Rep.Iterations)
+    Os << It.Matches << "," << It.Applied << "," << It.Nodes << ","
+       << It.Classes << ";";
+  for (const RuleStats &RS : Rep.Rules)
+    Os << RS.Name << "=" << RS.Matches << "," << RS.Applied << ","
+       << RS.FullSearches << "," << RS.IncrementalSearches << "," << RS.Bans
+       << ";";
+  return Os.str();
+}
+
+} // namespace
+
+TEST(Snapshot, RoundTripSmallGraph) {
+  EGraph G;
+  EClassId Root = G.addTerm(parse(
+      "(Union (Translate (Vec3 1 2 3) Unit) (Scale (Vec3 2 2 2) Sphere))"));
+  G.addTerm(parse("(Add 2 3)")); // exercises analysis constants
+  G.rebuild();
+
+  EGraph R;
+  ASSERT_EQ(restore(snapshotOf(G), R), "");
+  EXPECT_EQ(R.dump(), G.dump());
+  EXPECT_EQ(R.checkInvariants(), "");
+  EXPECT_EQ(R.numClasses(), G.numClasses());
+  EXPECT_EQ(R.numNodes(), G.numNodes());
+  EXPECT_EQ(R.generation(), G.generation());
+  EXPECT_EQ(R.dirtyLogSize(), G.dirtyLogSize());
+  EXPECT_EQ(R.find(Root), G.find(Root));
+  // The analysis data came through: the folded constant is queryable.
+  EClassId Five = *R.lookup(ENode(Op::makeInt(5), {}));
+  ASSERT_TRUE(R.data(Five).NumConst.has_value());
+  EXPECT_EQ(*R.data(Five).NumConst, 5.0);
+}
+
+TEST(Snapshot, RoundTripEmptyGraph) {
+  EGraph G;
+  EGraph R;
+  ASSERT_EQ(restore(snapshotOf(G), R), "");
+  EXPECT_EQ(R.numClasses(), 0u);
+  EXPECT_EQ(R.dump(), G.dump());
+}
+
+TEST(Snapshot, RoundTripPayloadOps) {
+  // Every payload-carrying operator kind round-trips by value (symbols
+  // re-intern by spelling; intern ids are process-local).
+  EGraph G;
+  G.addTerm(parse("(Fold Union Empty (Cons (External part7) Nil))"));
+  G.addTerm(parse("(Mul (Var i) 2.5)"));
+  G.rebuild();
+  EGraph R;
+  ASSERT_EQ(restore(snapshotOf(G), R), "");
+  EXPECT_EQ(R.dump(), G.dump());
+  EXPECT_EQ(R.checkInvariants(), "");
+}
+
+TEST(Snapshot, RestoreThenContinueIsBitIdenticalOnAllBenchModels) {
+  // The warm-start contract: partial saturation, snapshot, restore,
+  // continue == the identical two-phase run without the snapshot. Both
+  // sides run the same Runner sequence, so the only difference is the
+  // serialize/deserialize round trip in the middle.
+  const std::vector<Rewrite> Rules = pipelineRules();
+  const RuleSet DB(Rules);
+  RunnerLimits Phase1;
+  Phase1.IterLimit = 2;
+  const RunnerLimits Phase2; // defaults: run to saturation
+
+  for (const models::BenchmarkModel &M : models::allModels()) {
+    SCOPED_TRACE(M.Name);
+
+    // Uninterrupted reference: phase 1 then phase 2 on one graph.
+    EGraph A;
+    A.addTerm(M.FlatCsg);
+    A.rebuild();
+    Runner(Phase1).run(A, DB);
+    RunnerReport RepA = Runner(Phase2).run(A, DB);
+
+    // Snapshotted: phase 1, round trip, phase 2 on the restored graph.
+    EGraph B;
+    B.addTerm(M.FlatCsg);
+    B.rebuild();
+    Runner(Phase1).run(B, DB);
+    EGraph C;
+    ASSERT_EQ(restore(snapshotOf(B), C), "");
+    ASSERT_EQ(C.dump(), B.dump());
+    ASSERT_EQ(C.checkInvariants(), "");
+    RunnerReport RepC = Runner(Phase2).run(C, DB);
+
+    EXPECT_EQ(C.dump(), A.dump());
+    EXPECT_EQ(reportFingerprint(RepC), reportFingerprint(RepA));
+    EXPECT_EQ(C.numNodes(), A.numNodes());
+    EXPECT_EQ(C.numClasses(), A.numClasses());
+  }
+}
+
+TEST(Snapshot, RestoredGraphServesIncrementalExtraction) {
+  // The serialized dirty-cursor state (generation counter + log) lets a
+  // restored graph drive the incremental engines exactly like the
+  // original: derive, mutate, refresh.
+  models::BenchmarkModel M = models::modelByName("3362402:gear");
+  EGraph G;
+  EClassId Root = G.addTerm(M.FlatCsg);
+  G.rebuild();
+  RunnerLimits L;
+  L.IterLimit = 3;
+  Runner(L).run(G, pipelineRules());
+
+  EGraph R;
+  ASSERT_EQ(restore(snapshotOf(G), R), "");
+  EClassId RootR = R.find(Root); // ids are preserved verbatim
+
+  AstSizeCost Cost;
+  Extractor EngG(G, Cost), EngR(R, Cost);
+  ASSERT_TRUE(EngG.bestCost(G.find(Root)).has_value());
+  EXPECT_EQ(*EngG.bestCost(G.find(Root)), *EngR.bestCost(RootR));
+  EXPECT_TRUE(termEquals(EngG.extract(G.find(Root)), EngR.extract(RootR)));
+
+  // Mutate both the same way; incremental refresh must agree too.
+  G.addTerm(parse("(Union Unit (Translate (Vec3 7 7 7) Sphere))"));
+  R.addTerm(parse("(Union Unit (Translate (Vec3 7 7 7) Sphere))"));
+  G.rebuild();
+  R.rebuild();
+  EngG.refresh();
+  EngR.refresh();
+  EXPECT_EQ(*EngG.bestCost(G.find(Root)), *EngR.bestCost(RootR));
+  EXPECT_EQ(G.dump(), R.dump());
+}
+
+TEST(Snapshot, TakeDirtySinceAgreesAfterRestore) {
+  EGraph G;
+  G.addTerm(parse("(Union (Translate (Vec3 1 0 0) Unit) Sphere)"));
+  G.rebuild();
+  uint64_t Mid = G.generation();
+  G.addTerm(parse("(Scale (Vec3 2 2 2) Hexagon)"));
+  G.rebuild();
+
+  EGraph R;
+  ASSERT_EQ(restore(snapshotOf(G), R), "");
+  EXPECT_EQ(R.generation(), G.generation());
+  EXPECT_EQ(R.takeDirtySince(Mid), G.takeDirtySince(Mid));
+  EXPECT_EQ(R.takeDirtySince(0), G.takeDirtySince(0));
+}
+
+TEST(Snapshot, RejectsCorruptAndTruncatedInput) {
+  EGraph G;
+  G.addTerm(parse("(Union (Translate (Vec3 1 2 3) Unit) Sphere)"));
+  G.rebuild();
+  const std::string Bytes = snapshotOf(G);
+
+  {
+    // Bad magic.
+    std::string Bad = Bytes;
+    Bad[0] ^= 0x40;
+    EGraph R;
+    EXPECT_NE(restore(Bad, R), "");
+    EXPECT_EQ(R.numClasses(), 0u); // target left untouched
+  }
+  {
+    // Truncations at every prefix length: header, payload, or mid-field —
+    // all must fail cleanly (and never assert or crash).
+    EGraph R0;
+    EXPECT_NE(restore(std::string(), R0), "");
+    for (size_t Len : {size_t(4), size_t(12), size_t(23), Bytes.size() / 2,
+                       Bytes.size() - 1}) {
+      std::string Bad = Bytes.substr(0, Len);
+      EGraph R;
+      EXPECT_NE(restore(Bad, R), "") << "accepted truncation at " << Len;
+      EXPECT_EQ(R.numClasses(), 0u);
+    }
+  }
+  {
+    // Payload bit flips: caught by the checksum regardless of position.
+    for (size_t Pos = 24; Pos < Bytes.size(); Pos += 37) {
+      std::string Bad = Bytes;
+      Bad[Pos] ^= 0x01;
+      EGraph R;
+      EXPECT_NE(restore(Bad, R), "") << "accepted bit flip at " << Pos;
+    }
+  }
+  {
+    // A non-fresh target graph is refused outright.
+    EGraph R;
+    R.addTerm(parse("Unit"));
+    R.rebuild();
+    EXPECT_NE(restore(Bytes, R), "");
+  }
+}
+
+TEST(Snapshot, RejectsHugeCountsWithValidChecksum) {
+  // A corrupt count field whose payload still checksums (here: forged,
+  // with the header hash recomputed) must fail with a diagnostic, not
+  // attempt a multi-gigabyte allocation (std::bad_alloc would escape
+  // deserialize() and kill a batch process loading a warm-start file).
+  EGraph G;
+  G.addTerm(parse("(Union Unit Sphere)"));
+  G.rebuild();
+  std::string Bytes = snapshotOf(G);
+
+  // Payload starts at byte 24; its first u32 is the id count.
+  for (size_t B = 0; B < 4; ++B)
+    Bytes[24 + B] = static_cast<char>(0xff);
+  // Recompute the FNV-1a header checksum over the tampered payload.
+  uint64_t H = 1469598103934665603ull;
+  for (size_t I = 24; I < Bytes.size(); ++I) {
+    H ^= static_cast<unsigned char>(Bytes[I]);
+    H *= 1099511628211ull;
+  }
+  std::memcpy(&Bytes[16], &H, sizeof H);
+
+  EGraph R;
+  EXPECT_EQ(restore(Bytes, R), "id count exceeds payload");
+  EXPECT_EQ(R.numClasses(), 0u);
+}
+
+TEST(Snapshot, ChecksummedHeaderDetectsLengthTampering) {
+  EGraph G;
+  G.addTerm(parse("(Union Unit Sphere)"));
+  G.rebuild();
+  std::string Bytes = snapshotOf(G);
+  // Grow the declared payload length: the read runs past the real bytes.
+  Bytes[8] = static_cast<char>(Bytes[8] + 1);
+  EGraph R;
+  EXPECT_NE(restore(Bytes, R), "");
+}
+
+TEST(Snapshot, FileRoundTrip) {
+  EGraph G;
+  G.addTerm(models::modelByName("3148599:box-tray").FlatCsg);
+  G.rebuild();
+  Runner().run(G, pipelineRules());
+
+  const std::string Path =
+      testing::TempDir() + "/shrinkray_snapshot_test.egraph";
+  {
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(Out.good());
+    G.serialize(Out);
+    ASSERT_TRUE(Out.good());
+  }
+  EGraph R;
+  std::ifstream In(Path, std::ios::binary);
+  ASSERT_TRUE(In.good());
+  EXPECT_EQ(R.deserialize(In), "");
+  EXPECT_EQ(R.dump(), G.dump());
+  EXPECT_EQ(R.checkInvariants(), "");
+  std::remove(Path.c_str());
+}
