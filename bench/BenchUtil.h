@@ -208,6 +208,12 @@ struct MeasuredRow {
   double RewriteSearchSec = 0.0;
   double RewriteApplySec = 0.0;
   double RewriteRebuildSec = 0.0;
+  // SolveSec broken down by solver-pipeline stage (SolveBreakdown totals):
+  // stage-0 sequence profiling, stage-1 family pruning, stage-2 module
+  // fitting. The remainder of SolveSec is determinization and insertion.
+  double SolvePreprocessSec = 0.0;
+  double SolvePruneSec = 0.0;
+  double SolveFitSec = 0.0;
   size_t Rank = 0; ///< 1-based rank of first structured program; 0 = none
   bool Sound = false;
 };
@@ -230,6 +236,9 @@ inline MeasuredRow measureModel(const TermPtr &Input,
   Row.RewriteSearchSec = R.Stats.RewriteSearchSeconds;
   Row.RewriteApplySec = R.Stats.RewriteApplySeconds;
   Row.RewriteRebuildSec = R.Stats.RewriteRebuildSeconds;
+  Row.SolvePreprocessSec = R.Stats.SolvePreprocessSeconds;
+  Row.SolvePruneSec = R.Stats.SolvePruneSeconds;
+  Row.SolveFitSec = R.Stats.SolveFitSeconds;
   if (R.Programs.empty())
     return Row;
 
@@ -270,6 +279,9 @@ inline void addMeasuredFields(JsonObject &O, const MeasuredRow &Row) {
       .add("rewrite_apply_sec", Row.RewriteApplySec)
       .add("rewrite_rebuild_sec", Row.RewriteRebuildSec)
       .add("solve_sec", Row.SolveSec)
+      .add("solve_preprocess_sec", Row.SolvePreprocessSec)
+      .add("solve_prune_sec", Row.SolvePruneSec)
+      .add("solve_fit_sec", Row.SolveFitSec)
       .add("extract_sec", Row.ExtractSec)
       .add("rank", Row.Rank)
       .add("sound", Row.Sound);

@@ -1,0 +1,11 @@
+; The duplicate-element pathology reproducer: a flattened Repeat(x, 3) —
+; three byte-identical translated cubes under Union. Pre-pipeline, the
+; union-idem rewrite merged Union(x, x) into x's own e-class and the
+; fold-list rules then grew list classes without bound (~90 s, multi-GB
+; RSS). Stage-0 input canonicalization collapses the duplicates before the
+; e-graph sees them; solver_pipeline_test and bench_solver gate this model.
+(Union
+  (Translate (Vec3 1 2 3) Unit)
+  (Union
+    (Translate (Vec3 1 2 3) Unit)
+    (Translate (Vec3 1 2 3) Unit)))

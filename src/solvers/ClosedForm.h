@@ -38,6 +38,11 @@ struct ClosedForm {
   double A = 0.0, B = 0.0, C = 0.0, D = 0.0;
   /// Coefficient of determination of the fit on its defining data.
   double R2 = 1.0;
+  /// The solver-pipeline module that produced the fit ("poly", "trig",
+  /// "linear" for the multi-index fits); empty for hand-built forms.
+  /// Reported through InferenceRecord so Table 1 rows are attributable
+  /// to a module.
+  const char *Module = "";
 
   double evaluate(double I) const;
 

@@ -5,298 +5,39 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Implementation of the arithmetic function solvers (paper Sec. 4.1):
-/// least-squares polynomial fitting with intercept centering and rational
-/// "nicing", the frequency-scan sinusoid solver, and the epsilon-band
-/// verification that gates every fit. See FunctionSolver.h for how this
-/// substitutes for the paper's Z3 queries.
+/// The facade's remaining bodies: the per-sequence entry points delegate to
+/// the staged SolverPipeline (PolyModule / TrigModule); the multi-index
+/// linear fits used by nested-loop inference live here, sharing the same
+/// nicing and band-verification helpers as the modules.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "solvers/FunctionSolver.h"
 
 #include "linalg/Matrix.h"
-#include "linalg/Vec3.h"
+#include "solvers/PolyModule.h"
+#include "solvers/TrigModule.h"
 
-#include <algorithm>
+#include <cassert>
 #include <cmath>
 
 using namespace shrinkray;
 
-bool FunctionSolver::verify(const ClosedForm &Form,
-                            const std::vector<double> &Ys) const {
-  // Tiny slack keeps points that sit exactly on the band boundary (like the
-  // paper's 5.001 example) from being rejected by floating-point roundoff.
-  const double Band = Opts.Epsilon + 1e-12;
-  for (size_t I = 0; I < Ys.size(); ++I)
-    if (std::fabs(Form.evaluate(static_cast<double>(I)) - Ys[I]) > Band)
-      return false;
-  return true;
-}
-
-std::vector<double> FunctionSolver::niceCandidates(double Value) const {
-  std::vector<double> Out;
-  auto push = [&](double V) {
-    for (double Existing : Out)
-      if (Existing == V)
-        return;
-    Out.push_back(V);
-  };
-  // Integers first, then small rationals in increasing denominator order.
-  double Rounded = std::round(Value);
-  if (std::fabs(Value - Rounded) <= 0.05 * std::max(1.0, std::fabs(Value)))
-    push(Rounded);
-  for (int Den = 2; Den <= Opts.MaxNiceDenominator; ++Den) {
-    double Scaled = std::round(Value * Den) / Den;
-    if (std::fabs(Value - Scaled) <= 0.01)
-      push(Scaled);
-  }
-  push(Value);
-  return Out;
-}
-
-/// Shifts the constant coefficient so residuals are centered: this is the
-/// exact minimizer of the L-infinity error over the intercept alone, making
-/// the band check complete whenever the slope/curvature estimates are sound.
-static void centerIntercept(ClosedForm &Form, const std::vector<double> &Ys) {
-  double MaxResid = -1e308, MinResid = 1e308;
-  for (size_t I = 0; I < Ys.size(); ++I) {
-    double R = Ys[I] - Form.evaluate(static_cast<double>(I));
-    MaxResid = std::max(MaxResid, R);
-    MinResid = std::min(MinResid, R);
-  }
-  Form.C += (MaxResid + MinResid) / 2.0;
-}
-
-static double computeR2(const ClosedForm &Form,
-                        const std::vector<double> &Ys) {
-  std::vector<double> Fit(Ys.size());
-  for (size_t I = 0; I < Ys.size(); ++I)
-    Fit[I] = Form.evaluate(static_cast<double>(I));
-  return rSquared(Ys, Fit);
-}
-
 std::optional<ClosedForm> FunctionSolver::fitPoly(const std::vector<double> &Ys,
                                                   int Degree) const {
-  assert(Degree >= 0 && Degree <= 2 && "unsupported polynomial degree");
-  const size_t N = Ys.size();
-  if (N == 0)
-    return std::nullopt;
-  // Underdetermined fits are exact but meaningless; require enough points
-  // for the degree (a 2-point "parabola" would always win, hiding lines).
-  if (N < static_cast<size_t>(Degree) + 1)
-    return std::nullopt;
-
-  const size_t Cols = static_cast<size_t>(Degree) + 1;
-  Matrix A(N, Cols);
-  std::vector<double> B(N);
-  for (size_t I = 0; I < N; ++I) {
-    double X = static_cast<double>(I);
-    A.at(I, 0) = 1.0;
-    if (Cols > 1)
-      A.at(I, 1) = X;
-    if (Cols > 2)
-      A.at(I, 2) = X * X;
-    B[I] = Ys[I];
-  }
-
-  ClosedForm Raw;
-  Raw.Kind = Degree == 0   ? FormKind::Constant
-             : Degree == 1 ? FormKind::Poly1
-                           : FormKind::Poly2;
-  if (N == Cols || Degree == 0) {
-    // Exact interpolation / plain mean.
-    if (Degree == 0) {
-      double Mean = 0.0;
-      for (double Y : Ys)
-        Mean += Y;
-      Raw.C = Mean / static_cast<double>(N);
-    } else {
-      std::optional<std::vector<double>> X = solveLinear(A, B);
-      if (!X)
-        return std::nullopt;
-      Raw.C = (*X)[0];
-      Raw.B = Cols > 1 ? (*X)[1] : 0.0;
-      Raw.A = Cols > 2 ? (*X)[2] : 0.0;
-    }
-  } else {
-    std::optional<std::vector<double>> X = leastSquares(A, B);
-    if (!X)
-      return std::nullopt;
-    Raw.C = (*X)[0];
-    Raw.B = Cols > 1 ? (*X)[1] : 0.0;
-    Raw.A = Cols > 2 ? (*X)[2] : 0.0;
-  }
-  centerIntercept(Raw, Ys);
-
-  // Try snapping coefficients to editable values, nicest combination first;
-  // the epsilon-band verification is the sole acceptance criterion.
-  std::vector<double> CandA = Degree == 2 ? niceCandidates(Raw.A)
-                                          : std::vector<double>{0.0};
-  std::vector<double> CandB = Degree >= 1 ? niceCandidates(Raw.B)
-                                          : std::vector<double>{0.0};
-  std::vector<double> CandC = niceCandidates(Raw.C);
-  for (double CoefA : CandA)
-    for (double CoefB : CandB)
-      for (double CoefC : CandC) {
-        ClosedForm Form = Raw;
-        Form.A = CoefA;
-        Form.B = CoefB;
-        Form.C = CoefC;
-        // Re-center the intercept for the snapped slope, then try both the
-        // centered and the snapped intercept.
-        if (verify(Form, Ys)) {
-          Form.R2 = computeR2(Form, Ys);
-          return Form;
-        }
-        centerIntercept(Form, Ys);
-        if (verify(Form, Ys)) {
-          Form.R2 = computeR2(Form, Ys);
-          return Form;
-        }
-      }
-  return std::nullopt;
+  return fitPolyForm(Ys, Degree, options());
 }
 
 std::optional<ClosedForm>
 FunctionSolver::fitTrig(const std::vector<double> &Ys) const {
-  const size_t N = Ys.size();
-  // The model has three free parameters (amplitude, phase, offset), so any
-  // three points admit an exact "fit"; require a fourth witness point.
-  if (N < 4)
-    return std::nullopt;
-
-  // Candidate frequencies: b = 360 * m / k covers sequences periodic in k
-  // samples with m-fold winding; this is exactly the structure CAD designs
-  // exhibit (points placed around circles).
-  std::vector<double> Candidates;
-  for (size_t K = 2; K <= 2 * N; ++K)
-    for (int M = 1; M <= 3; ++M) {
-      double B = 360.0 * M / static_cast<double>(K);
-      if (B < 360.0)
-        Candidates.push_back(B);
-    }
-  std::sort(Candidates.begin(), Candidates.end());
-  Candidates.erase(std::unique(Candidates.begin(), Candidates.end()),
-                   Candidates.end());
-
-  std::optional<ClosedForm> Best;
-  for (double Freq : Candidates) {
-    // a*sin(b i + c) + d = P*sin(b i) + Q*cos(b i) + d: linear in
-    // (P, Q, d). The offset column makes Figure 19's `10 + 7.07*sin(...)`
-    // expressible. At some frequencies one sinusoid column vanishes on the
-    // integer grid (e.g. sin(180 i) == 0 for all i), which would make the
-    // system rank deficient — fit only the non-degenerate columns.
-    std::vector<double> SinCol(N), CosCol(N), B(N);
-    double SinNorm = 0.0, CosNorm = 0.0;
-    for (size_t I = 0; I < N; ++I) {
-      double Angle = degToRad(Freq * static_cast<double>(I));
-      SinCol[I] = std::sin(Angle);
-      CosCol[I] = std::cos(Angle);
-      SinNorm += SinCol[I] * SinCol[I];
-      CosNorm += CosCol[I] * CosCol[I];
-      B[I] = Ys[I];
-    }
-    bool UseSin = SinNorm > 1e-9, UseCos = CosNorm > 1e-9;
-    if (!UseSin && !UseCos)
-      continue;
-    size_t Cols = (UseSin ? 1 : 0) + (UseCos ? 1 : 0) + 1;
-    if (N < Cols)
-      continue;
-    Matrix A(N, Cols);
-    for (size_t I = 0; I < N; ++I) {
-      size_t Col = 0;
-      if (UseSin)
-        A.at(I, Col++) = SinCol[I];
-      if (UseCos)
-        A.at(I, Col++) = CosCol[I];
-      A.at(I, Col) = 1.0; // offset column
-    }
-    std::optional<std::vector<double>> X = leastSquares(A, B);
-    if (!X)
-      continue;
-    size_t Col = 0;
-    double P = UseSin ? (*X)[Col++] : 0.0;
-    double Q = UseCos ? (*X)[Col++] : 0.0;
-    double Offset = (*X)[Col];
-    double Amp = std::hypot(P, Q);
-    if (Amp < 1e-9)
-      continue; // constant data belongs to the polynomial classes
-    double PhaseDeg = std::atan2(Q, P) * 180.0 / 3.14159265358979323846;
-    if (PhaseDeg < 0)
-      PhaseDeg += 360.0;
-
-    ClosedForm Form;
-    Form.Kind = FormKind::Trig;
-    Form.A = Amp;
-    Form.B = Freq;
-    Form.C = PhaseDeg;
-    Form.D = Offset;
-    Form.R2 = computeR2(Form, Ys);
-    if (Form.R2 < Opts.TrigR2Floor || !verify(Form, Ys))
-      continue;
-
-    // Nice the amplitude, phase, and offset where the band allows it.
-    [&] {
-      for (double NiceAmp : niceCandidates(Amp))
-        for (double NicePhase : niceCandidates(PhaseDeg))
-          for (double NiceOffset : niceCandidates(Offset)) {
-            ClosedForm Snapped = Form;
-            Snapped.A = NiceAmp;
-            Snapped.C = NicePhase;
-            Snapped.D = NiceOffset;
-            if (verify(Snapped, Ys)) {
-              Snapped.R2 = computeR2(Snapped, Ys);
-              Form = Snapped;
-              return;
-            }
-          }
-    }();
-    if (!Best || Form.R2 > Best->R2)
-      Best = Form;
-  }
-  return Best;
-}
-
-std::optional<ClosedForm>
-FunctionSolver::solveSequence(const std::vector<double> &Ys) const {
-  if (Ys.empty())
-    return std::nullopt;
-  // Paper order: polynomials first (Z3), trig as the fallback; all accepted
-  // fits satisfy the same epsilon band, so the simplest form wins.
-  if (std::optional<ClosedForm> Form = fitPoly(Ys, 0))
-    return Form;
-  if (std::optional<ClosedForm> Form = fitPoly(Ys, 1))
-    return Form;
-  if (std::optional<ClosedForm> Form = fitPoly(Ys, 2))
-    return Form;
-  return fitTrig(Ys);
-}
-
-std::vector<ClosedForm>
-FunctionSolver::solveAll(const std::vector<double> &Ys) const {
-  std::vector<ClosedForm> Out;
-  if (Ys.empty())
-    return Out;
-  if (std::optional<ClosedForm> Form = fitPoly(Ys, 0))
-    Out.push_back(*Form);
-  // A constant already subsumes the higher classes.
-  if (!Out.empty())
-    return Out;
-  if (std::optional<ClosedForm> Form = fitPoly(Ys, 1))
-    Out.push_back(*Form);
-  if (Out.empty()) // a line subsumes its quadratic extension
-    if (std::optional<ClosedForm> Form = fitPoly(Ys, 2))
-      Out.push_back(*Form);
-  if (std::optional<ClosedForm> Form = fitTrig(Ys))
-    Out.push_back(*Form);
-  return Out;
+  return fitTrigForm(Ys, options());
 }
 
 std::optional<ClosedForm2> FunctionSolver::fitLinear2(
     const std::vector<std::pair<double, double>> &Indices,
     const std::vector<double> &Ys) const {
   assert(Indices.size() == Ys.size() && "index/value size mismatch");
+  const SolverOptions &Opts = options();
   const size_t N = Ys.size();
   if (N < 3)
     return std::nullopt;
@@ -345,9 +86,9 @@ std::optional<ClosedForm2> FunctionSolver::fitLinear2(
     return true;
   };
 
-  for (double CoefA : niceCandidates(Raw.A))
-    for (double CoefB : niceCandidates(Raw.B))
-      for (double CoefC : niceCandidates(Raw.C)) {
+  for (double CoefA : niceCandidates(Raw.A, Opts))
+    for (double CoefB : niceCandidates(Raw.B, Opts))
+      for (double CoefC : niceCandidates(Raw.C, Opts)) {
         ClosedForm2 F{CoefA, CoefB, CoefC};
         if (verify2(F))
           return F;
@@ -361,6 +102,7 @@ std::optional<std::vector<double>>
 FunctionSolver::fitLinearN(const std::vector<std::vector<double>> &Indices,
                            const std::vector<double> &Ys) const {
   assert(Indices.size() == Ys.size() && "index/value size mismatch");
+  const SolverOptions &Opts = options();
   const size_t N = Ys.size();
   if (N == 0)
     return std::nullopt;
@@ -397,7 +139,7 @@ FunctionSolver::fitLinearN(const std::vector<std::vector<double>> &Indices,
   // low arities would explode here), then fall back to raw.
   std::vector<double> Niced = *Raw;
   for (double &Coef : Niced) {
-    for (double Candidate : niceCandidates(Coef)) {
+    for (double Candidate : niceCandidates(Coef, Opts)) {
       double Saved = Coef;
       Coef = Candidate;
       if (verifyN(Niced))

@@ -25,49 +25,51 @@
 /// (A, B), so a frequency scan plus linear least squares replaces iterative
 /// SVD refinement; fits are ranked by R^2 exactly as in the paper.
 ///
+/// FunctionSolver is a facade over the staged SolverPipeline (Pipeline.h):
+/// stage 0 profiles each sequence, stage 1 prunes closed-form families via
+/// sound interval tests, stage 2 runs the fits above as PolyModule /
+/// TrigModule. The per-sequence entry points delegate to the pipeline; the
+/// multi-index linear fits (nested-loop inference) remain here. breakdown()
+/// exposes the accumulated per-stage wall clock.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SHRINKRAY_SOLVERS_FUNCTIONSOLVER_H
 #define SHRINKRAY_SOLVERS_FUNCTIONSOLVER_H
 
-#include "solvers/ClosedForm.h"
+#include "solvers/Pipeline.h"
 
 #include <optional>
 #include <vector>
 
 namespace shrinkray {
 
-/// Solver configuration.
-struct SolverOptions {
-  /// The tolerance band epsilon (paper Sec. 4.1; default as in the paper).
-  double Epsilon = 1e-3;
-  /// Minimum R^2 for a trig fit to be considered at all.
-  double TrigR2Floor = 0.999;
-  /// Largest denominator tried when snapping coefficients to rationals.
-  int MaxNiceDenominator = 16;
-};
-
 /// Arithmetic function solver over scalar sequences.
 class FunctionSolver {
 public:
-  explicit FunctionSolver(SolverOptions Opts = {}) : Opts(Opts) {}
+  explicit FunctionSolver(SolverOptions Opts = {}) : Pipe(std::move(Opts)) {}
 
   /// Finds the best closed form for y_0..y_{n-1} as a function of the index,
   /// or nullopt when no candidate passes the epsilon band. Preference order
   /// on ties: Constant, Poly1, Poly2, Trig (simplest editable form wins;
   /// among passing forms they all satisfy the band, and the paper's R^2
   /// criterion then cannot distinguish them).
-  std::optional<ClosedForm> solveSequence(const std::vector<double> &Ys) const;
+  std::optional<ClosedForm> solveSequence(const std::vector<double> &Ys) const {
+    return Pipe.solveSequence(Ys);
+  }
 
   /// All passing closed forms, simplest first. Periodic data of short
   /// sequences can be aliased by a polynomial and vice versa; returning
   /// every verified form lets the e-graph represent all of them so that
   /// top-k extraction can surface diverse parameterizations (paper Sec. 6.3,
   /// the hex-cell generator has both a loop and a trig solution).
-  std::vector<ClosedForm> solveAll(const std::vector<double> &Ys) const;
+  std::vector<ClosedForm> solveAll(const std::vector<double> &Ys) const {
+    return Pipe.solveAll(Ys);
+  }
 
   /// Degree-\p Degree polynomial fit (0, 1, or 2) with nicing; returns a
-  /// verified form or nullopt.
+  /// verified form or nullopt. Bypasses the stage-1 pruning (direct module
+  /// entry).
   std::optional<ClosedForm> fitPoly(const std::vector<double> &Ys,
                                     int Degree) const;
 
@@ -89,16 +91,20 @@ public:
              const std::vector<double> &Ys) const;
 
   /// True iff \p Form reproduces every y_i within epsilon.
-  bool verify(const ClosedForm &Form, const std::vector<double> &Ys) const;
+  bool verify(const ClosedForm &Form, const std::vector<double> &Ys) const {
+    return verifyForm(Form, Ys, options().Epsilon);
+  }
 
-  const SolverOptions &options() const { return Opts; }
+  const SolverOptions &options() const { return Pipe.options(); }
+
+  /// Accumulated per-stage solve telemetry (see SolveBreakdown).
+  const SolveBreakdown &breakdown() const { return Pipe.breakdown(); }
+
+  /// The underlying staged pipeline.
+  const SolverPipeline &pipeline() const { return Pipe; }
 
 private:
-  SolverOptions Opts;
-
-  /// Candidate "nice" snappings of \p Value (integers and small rationals),
-  /// ordered by niceness; always ends with \p Value itself.
-  std::vector<double> niceCandidates(double Value) const;
+  SolverPipeline Pipe;
 };
 
 /// Detects the rotation-periodicity of a linear form: if the slope divides

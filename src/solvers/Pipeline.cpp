@@ -1,0 +1,187 @@
+//===-- solvers/Pipeline.cpp - Staged solver strategy pipeline ------------===//
+//
+// Part of the ShrinkRay reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pipeline orchestration: stage 0 profiles the sequence, stage 1 computes
+/// the admissible-family mask, stage 2 dispatches to the fitting modules in
+/// the established preference order (Constant subsumes all, a line subsumes
+/// its quadratic extension, trig appended for diversity). The shared
+/// fitting helpers (band verification, nicing, intercept centering) also
+/// live here so every module uses the same acceptance criterion.
+///
+//===----------------------------------------------------------------------===//
+
+#include "solvers/Pipeline.h"
+
+#include "linalg/Matrix.h"
+#include "solvers/PolyModule.h"
+#include "solvers/Prune.h"
+#include "solvers/TrigModule.h"
+
+#include <chrono>
+#include <cmath>
+
+using namespace shrinkray;
+
+//===----------------------------------------------------------------------===//
+// Shared fitting helpers
+//===----------------------------------------------------------------------===//
+
+bool shrinkray::verifyForm(const ClosedForm &Form,
+                           const std::vector<double> &Ys, double Epsilon) {
+  // Tiny slack keeps points that sit exactly on the band boundary (like the
+  // paper's 5.001 example) from being rejected by floating-point roundoff.
+  const double Band = Epsilon + 1e-12;
+  for (size_t I = 0; I < Ys.size(); ++I)
+    if (std::fabs(Form.evaluate(static_cast<double>(I)) - Ys[I]) > Band)
+      return false;
+  return true;
+}
+
+std::vector<double> shrinkray::niceCandidates(double Value,
+                                              const SolverOptions &Opts) {
+  std::vector<double> Out;
+  auto push = [&](double V) {
+    for (double Existing : Out)
+      if (Existing == V)
+        return;
+    Out.push_back(V);
+  };
+  // Integers first, then small rationals in increasing denominator order.
+  double Rounded = std::round(Value);
+  if (std::fabs(Value - Rounded) <= 0.05 * std::max(1.0, std::fabs(Value)))
+    push(Rounded);
+  for (int Den = 2; Den <= Opts.MaxNiceDenominator; ++Den) {
+    double Scaled = std::round(Value * Den) / Den;
+    if (std::fabs(Value - Scaled) <= 0.01)
+      push(Scaled);
+  }
+  push(Value);
+  return Out;
+}
+
+void shrinkray::centerIntercept(ClosedForm &Form,
+                                const std::vector<double> &Ys) {
+  double MaxResid = -1e308, MinResid = 1e308;
+  for (size_t I = 0; I < Ys.size(); ++I) {
+    double R = Ys[I] - Form.evaluate(static_cast<double>(I));
+    MaxResid = std::max(MaxResid, R);
+    MinResid = std::min(MinResid, R);
+  }
+  Form.C += (MaxResid + MinResid) / 2.0;
+}
+
+double shrinkray::formR2(const ClosedForm &Form,
+                         const std::vector<double> &Ys) {
+  std::vector<double> Fit(Ys.size());
+  for (size_t I = 0; I < Ys.size(); ++I)
+    Fit[I] = Form.evaluate(static_cast<double>(I));
+  return rSquared(Ys, Fit);
+}
+
+//===----------------------------------------------------------------------===//
+// SolverPipeline
+//===----------------------------------------------------------------------===//
+
+SolverPipeline::SolverPipeline(SolverOptions Opts) : Opts(std::move(Opts)) {
+  Modules.push_back(std::make_unique<PolyModule>());
+  Modules.push_back(std::make_unique<TrigModule>());
+}
+
+SolverPipeline::~SolverPipeline() = default;
+
+const SolverModule *SolverPipeline::moduleFor(unsigned Family) const {
+  for (const std::unique_ptr<SolverModule> &M : Modules)
+    if (M->families() & Family)
+      return M.get();
+  return nullptr;
+}
+
+std::vector<ClosedForm>
+SolverPipeline::solveImpl(const std::vector<double> &Ys,
+                          bool FirstOnly) const {
+  using Clock = std::chrono::steady_clock;
+  std::vector<ClosedForm> Out;
+  if (Ys.empty())
+    return Out;
+  ++Breakdown.Sequences;
+  if (Opts.Cancel.cancelled()) {
+    ++Breakdown.CancelledSolves;
+    return Out;
+  }
+
+  // --- Stage 0: profile ---------------------------------------------------
+  auto T0 = Clock::now();
+  const SequenceProfile Profile = sequenceProfile(Ys);
+  auto T1 = Clock::now();
+  Breakdown.PreprocessSec += std::chrono::duration<double>(T1 - T0).count();
+
+  // --- Stage 1: family pruning --------------------------------------------
+  const unsigned Mask = admissibleFamilies(Profile, Opts);
+  auto T2 = Clock::now();
+  Breakdown.PruneSec += std::chrono::duration<double>(T2 - T1).count();
+
+  // --- Stage 2: fit, cheap families first ----------------------------------
+  const SolveContext Ctx{Ys, Profile, Opts};
+  auto fitOne = [&](unsigned Family) -> bool {
+    if (!(Mask & Family)) {
+      ++Breakdown.FamiliesPruned;
+      return false;
+    }
+    const SolverModule *M = moduleFor(Family);
+    if (!M)
+      return false;
+    ++Breakdown.FamiliesFitted;
+    if (std::optional<ClosedForm> Form = M->fitFamily(Ctx, Family)) {
+      Out.push_back(*Form);
+      return true;
+    }
+    return false;
+  };
+  auto cancelled = [&] {
+    if (!Opts.Cancel.cancelled())
+      return false;
+    ++Breakdown.CancelledSolves;
+    return true;
+  };
+  auto FitStart = Clock::now();
+  auto accountFit = [&] {
+    Breakdown.FitSec +=
+        std::chrono::duration<double>(Clock::now() - FitStart).count();
+  };
+
+  // Preference/subsumption order (paper Sec. 4.1): a constant subsumes
+  // every other class; a line subsumes its quadratic extension; the trig
+  // variant rides along for diversity (Sec. 6.3) unless the caller only
+  // wants the first (simplest) form.
+  if (fitOne(FamConstant) || cancelled()) {
+    accountFit();
+    return Out;
+  }
+  bool PolyFound = fitOne(FamPoly1);
+  if (!PolyFound)
+    PolyFound = fitOne(FamPoly2);
+  if ((PolyFound && FirstOnly) || cancelled()) {
+    accountFit();
+    return Out;
+  }
+  fitOne(FamTrig);
+  accountFit();
+  return Out;
+}
+
+std::vector<ClosedForm>
+SolverPipeline::solveAll(const std::vector<double> &Ys) const {
+  return solveImpl(Ys, /*FirstOnly=*/false);
+}
+
+std::optional<ClosedForm>
+SolverPipeline::solveSequence(const std::vector<double> &Ys) const {
+  std::vector<ClosedForm> Forms = solveImpl(Ys, /*FirstOnly=*/true);
+  if (Forms.empty())
+    return std::nullopt;
+  return Forms.front();
+}

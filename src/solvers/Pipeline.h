@@ -1,0 +1,193 @@
+//===-- solvers/Pipeline.h - Staged solver strategy pipeline ----*- C++ -*-===//
+//
+// Part of the ShrinkRay reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The staged, cheap-first solver pipeline behind FunctionSolver, in the
+/// style of smtrat's module strategies (preprocessing -> interval pruning ->
+/// full search):
+///
+///   Stage 0  preprocessing   — O(n) sequence profile (Preprocess.h)
+///   Stage 1  interval pruning — sound necessary-condition tests reject
+///                               closed-form families before any fitting
+///                               (Prune.h)
+///   Stage 2  fitting modules  — the least-squares / frequency-scan solvers
+///                               behind the SolverModule interface
+///                               (PolyModule.h, TrigModule.h)
+///
+/// The pipeline owns the family preference policy (Constant subsumes
+/// everything, a line subsumes its quadratic extension, trig variants are
+/// appended for diversity — paper Sec. 4.1/6.3), checks the cancellation
+/// token between stages and modules, and accounts wall clock per stage
+/// (SolveBreakdown). Stage-1 tests only ever reject families whose fits
+/// would fail the epsilon-band verification anyway, so enabling pruning
+/// never changes results — only the time to reach them.
+///
+/// New closed-form families (theta-forms, piecewise, ...) are added by
+/// implementing SolverModule and registering a FamilyBit, not by editing
+/// the solve routines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHRINKRAY_SOLVERS_PIPELINE_H
+#define SHRINKRAY_SOLVERS_PIPELINE_H
+
+#include "solvers/ClosedForm.h"
+#include "solvers/Preprocess.h"
+#include "support/Cancel.h"
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace shrinkray {
+
+/// Solver configuration.
+struct SolverOptions {
+  /// The tolerance band epsilon (paper Sec. 4.1; default as in the paper).
+  double Epsilon = 1e-3;
+  /// Minimum R^2 for a trig fit to be considered at all.
+  double TrigR2Floor = 0.999;
+  /// Largest denominator tried when snapping coefficients to rationals.
+  int MaxNiceDenominator = 16;
+  /// Stage-1 family pruning. Sound (results are identical either way);
+  /// the off switch exists for the pruning-soundness differential tests
+  /// and for timing the pruning win in bench_solver.
+  bool EnablePruning = true;
+  /// Cooperative cancellation: checked between pipeline stages, between
+  /// fitting modules, and inside the trig frequency scan. A fired token
+  /// makes the solve return whatever verified forms it already has.
+  CancelToken Cancel{};
+};
+
+/// Bitset of closed-form families, the pruning/fitting currency of the
+/// pipeline. One bit per FormKind.
+enum FamilyBit : unsigned {
+  FamConstant = 1u << 0,
+  FamPoly1 = 1u << 1,
+  FamPoly2 = 1u << 2,
+  FamTrig = 1u << 3,
+  FamAll = FamConstant | FamPoly1 | FamPoly2 | FamTrig,
+};
+
+/// The family bit of one FormKind.
+inline unsigned familyBit(FormKind K) {
+  switch (K) {
+  case FormKind::Constant:
+    return FamConstant;
+  case FormKind::Poly1:
+    return FamPoly1;
+  case FormKind::Poly2:
+    return FamPoly2;
+  case FormKind::Trig:
+    return FamTrig;
+  }
+  return 0;
+}
+
+/// Per-stage wall clock and work counters, accumulated across every solve
+/// the pipeline runs (one FunctionSolver instance = one accumulator; the
+/// synthesizer surfaces the totals as solve_preprocess/prune/fit_sec).
+/// Not thread-safe: each synthesis job owns its solver.
+struct SolveBreakdown {
+  double PreprocessSec = 0.0; ///< stage 0: sequence profiling
+  double PruneSec = 0.0;      ///< stage 1: family feasibility tests
+  double FitSec = 0.0;        ///< stage 2: module fitting
+  uint64_t Sequences = 0;     ///< solve calls profiled
+  uint64_t FamiliesPruned = 0;   ///< family fits skipped by stage 1
+  uint64_t FamiliesFitted = 0;   ///< family fits actually attempted
+  uint64_t CancelledSolves = 0;  ///< solves cut short by the cancel token
+
+  void reset() { *this = SolveBreakdown(); }
+};
+
+/// Everything a fitting module may look at: the sequence, its stage-0
+/// profile, and the options (epsilon band, nicing, cancellation).
+struct SolveContext {
+  const std::vector<double> &Ys;
+  const SequenceProfile &Profile;
+  const SolverOptions &Opts;
+};
+
+/// One closed-form family engine of stage 2. Modules are stateless with
+/// respect to individual solves; they fit only the families the pipeline
+/// asks for (the stage-1 survivors) and must append only forms that pass
+/// the epsilon-band verification.
+class SolverModule {
+public:
+  virtual ~SolverModule() = default;
+
+  /// Short stable identifier ("poly", "trig"); stamped on produced forms
+  /// and reported through InferenceRecord.
+  virtual const char *name() const = 0;
+
+  /// The FamilyBit mask this module can produce.
+  virtual unsigned families() const = 0;
+
+  /// Fits \p Family (a single bit from families()) against Ctx.Ys and
+  /// returns the verified form, or nullopt.
+  virtual std::optional<ClosedForm> fitFamily(const SolveContext &Ctx,
+                                              unsigned Family) const = 0;
+};
+
+/// The staged solver: profiles, prunes, and dispatches to the registered
+/// modules in family-preference order.
+class SolverPipeline {
+public:
+  explicit SolverPipeline(SolverOptions Opts);
+  ~SolverPipeline();
+  SolverPipeline(const SolverPipeline &) = delete;
+  SolverPipeline &operator=(const SolverPipeline &) = delete;
+
+  /// All passing closed forms, simplest first (see FunctionSolver::solveAll
+  /// for the preference/subsumption contract this preserves).
+  std::vector<ClosedForm> solveAll(const std::vector<double> &Ys) const;
+
+  /// The best (simplest) passing form, or nullopt. Stops at the first
+  /// success, so later families are never fitted.
+  std::optional<ClosedForm> solveSequence(const std::vector<double> &Ys) const;
+
+  /// The module owning \p Family, or nullptr.
+  const SolverModule *moduleFor(unsigned Family) const;
+
+  const SolveBreakdown &breakdown() const { return Breakdown; }
+  void resetBreakdown() { Breakdown.reset(); }
+
+  const SolverOptions &options() const { return Opts; }
+
+private:
+  std::vector<ClosedForm> solveImpl(const std::vector<double> &Ys,
+                                    bool FirstOnly) const;
+
+  SolverOptions Opts;
+  std::vector<std::unique_ptr<SolverModule>> Modules;
+  /// Telemetry is observational state, updated by const solves.
+  mutable SolveBreakdown Breakdown;
+};
+
+//===----------------------------------------------------------------------===//
+// Shared fitting helpers (used by the modules and the multi-index fits)
+//===----------------------------------------------------------------------===//
+
+/// True iff \p Form reproduces every y_i within \p Epsilon (plus the tiny
+/// slack that keeps boundary points like the paper's 5.001 example).
+bool verifyForm(const ClosedForm &Form, const std::vector<double> &Ys,
+                double Epsilon);
+
+/// Candidate "nice" snappings of \p Value (integers and small rationals),
+/// ordered by niceness; always ends with \p Value itself.
+std::vector<double> niceCandidates(double Value, const SolverOptions &Opts);
+
+/// Shifts the constant coefficient so residuals are centered: the exact
+/// minimizer of the L-infinity error over the intercept alone.
+void centerIntercept(ClosedForm &Form, const std::vector<double> &Ys);
+
+/// R^2 of \p Form on \p Ys.
+double formR2(const ClosedForm &Form, const std::vector<double> &Ys);
+
+} // namespace shrinkray
+
+#endif // SHRINKRAY_SOLVERS_PIPELINE_H

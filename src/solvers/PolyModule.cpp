@@ -1,0 +1,111 @@
+//===-- solvers/PolyModule.cpp - Polynomial fitting module ----------------===//
+//
+// Part of the ShrinkRay reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The polynomial fits (paper Sec. 4.1): exact interpolation or least
+/// squares, intercept centering, rational nicing, epsilon-band
+/// verification. Behavior is identical to the pre-pipeline
+/// FunctionSolver::fitPoly.
+///
+//===----------------------------------------------------------------------===//
+
+#include "solvers/PolyModule.h"
+
+#include "linalg/Matrix.h"
+
+#include <cassert>
+
+using namespace shrinkray;
+
+std::optional<ClosedForm> shrinkray::fitPolyForm(const std::vector<double> &Ys,
+                                                 int Degree,
+                                                 const SolverOptions &Opts) {
+  assert(Degree >= 0 && Degree <= 2 && "unsupported polynomial degree");
+  const size_t N = Ys.size();
+  if (N == 0)
+    return std::nullopt;
+  // Underdetermined fits are exact but meaningless; require enough points
+  // for the degree (a 2-point "parabola" would always win, hiding lines).
+  if (N < static_cast<size_t>(Degree) + 1)
+    return std::nullopt;
+
+  const size_t Cols = static_cast<size_t>(Degree) + 1;
+  Matrix A(N, Cols);
+  std::vector<double> B(N);
+  for (size_t I = 0; I < N; ++I) {
+    double X = static_cast<double>(I);
+    A.at(I, 0) = 1.0;
+    if (Cols > 1)
+      A.at(I, 1) = X;
+    if (Cols > 2)
+      A.at(I, 2) = X * X;
+    B[I] = Ys[I];
+  }
+
+  ClosedForm Raw;
+  Raw.Kind = Degree == 0   ? FormKind::Constant
+             : Degree == 1 ? FormKind::Poly1
+                           : FormKind::Poly2;
+  Raw.Module = "poly";
+  if (N == Cols || Degree == 0) {
+    // Exact interpolation / plain mean.
+    if (Degree == 0) {
+      double Mean = 0.0;
+      for (double Y : Ys)
+        Mean += Y;
+      Raw.C = Mean / static_cast<double>(N);
+    } else {
+      std::optional<std::vector<double>> X = solveLinear(A, B);
+      if (!X)
+        return std::nullopt;
+      Raw.C = (*X)[0];
+      Raw.B = Cols > 1 ? (*X)[1] : 0.0;
+      Raw.A = Cols > 2 ? (*X)[2] : 0.0;
+    }
+  } else {
+    std::optional<std::vector<double>> X = leastSquares(A, B);
+    if (!X)
+      return std::nullopt;
+    Raw.C = (*X)[0];
+    Raw.B = Cols > 1 ? (*X)[1] : 0.0;
+    Raw.A = Cols > 2 ? (*X)[2] : 0.0;
+  }
+  centerIntercept(Raw, Ys);
+
+  // Try snapping coefficients to editable values, nicest combination first;
+  // the epsilon-band verification is the sole acceptance criterion.
+  std::vector<double> CandA = Degree == 2 ? niceCandidates(Raw.A, Opts)
+                                          : std::vector<double>{0.0};
+  std::vector<double> CandB = Degree >= 1 ? niceCandidates(Raw.B, Opts)
+                                          : std::vector<double>{0.0};
+  std::vector<double> CandC = niceCandidates(Raw.C, Opts);
+  for (double CoefA : CandA)
+    for (double CoefB : CandB)
+      for (double CoefC : CandC) {
+        ClosedForm Form = Raw;
+        Form.A = CoefA;
+        Form.B = CoefB;
+        Form.C = CoefC;
+        // Re-center the intercept for the snapped slope, then try both the
+        // centered and the snapped intercept.
+        if (verifyForm(Form, Ys, Opts.Epsilon)) {
+          Form.R2 = formR2(Form, Ys);
+          return Form;
+        }
+        centerIntercept(Form, Ys);
+        if (verifyForm(Form, Ys, Opts.Epsilon)) {
+          Form.R2 = formR2(Form, Ys);
+          return Form;
+        }
+      }
+  return std::nullopt;
+}
+
+std::optional<ClosedForm> PolyModule::fitFamily(const SolveContext &Ctx,
+                                                unsigned Family) const {
+  int Degree = Family == FamConstant ? 0 : Family == FamPoly1 ? 1 : 2;
+  return fitPolyForm(Ctx.Ys, Degree, Ctx.Opts);
+}

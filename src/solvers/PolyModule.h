@@ -1,0 +1,41 @@
+//===-- solvers/PolyModule.h - Polynomial fitting module --------*- C++ -*-===//
+//
+// Part of the ShrinkRay reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stage-2 module for the polynomial families (Constant, Poly1, Poly2):
+/// least-squares fitting with intercept centering and rational "nicing",
+/// gated by the epsilon-band verification — the code previously inlined in
+/// FunctionSolver::fitPoly, now behind the SolverModule interface.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHRINKRAY_SOLVERS_POLYMODULE_H
+#define SHRINKRAY_SOLVERS_POLYMODULE_H
+
+#include "solvers/Pipeline.h"
+
+namespace shrinkray {
+
+/// Least-squares polynomial module (degrees 0-2).
+class PolyModule : public SolverModule {
+public:
+  const char *name() const override { return "poly"; }
+  unsigned families() const override {
+    return FamConstant | FamPoly1 | FamPoly2;
+  }
+  std::optional<ClosedForm> fitFamily(const SolveContext &Ctx,
+                                      unsigned Family) const override;
+};
+
+/// Degree-\p Degree polynomial fit (0, 1, or 2) with nicing; returns a
+/// verified form or nullopt. Direct entry point for FunctionSolver::fitPoly
+/// and the tests; the module's fitFamily dispatches here.
+std::optional<ClosedForm> fitPolyForm(const std::vector<double> &Ys,
+                                      int Degree, const SolverOptions &Opts);
+
+} // namespace shrinkray
+
+#endif // SHRINKRAY_SOLVERS_POLYMODULE_H

@@ -1,0 +1,119 @@
+//===-- solvers/Preprocess.cpp - Solver pipeline stage 0 ------------------===//
+//
+// Part of the ShrinkRay reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stage-0 implementation: union-operand deduplication over flat CSG terms
+/// and the O(n) sequence profile behind the stage-1 pruning tests.
+///
+//===----------------------------------------------------------------------===//
+
+#include "solvers/Preprocess.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+using namespace shrinkray;
+
+SequenceProfile shrinkray::sequenceProfile(const std::vector<double> &Ys) {
+  SequenceProfile P;
+  P.N = Ys.size();
+  if (P.N == 0)
+    return P;
+  P.Min = P.Max = Ys[0];
+  std::set<double> Distinct;
+  for (double Y : Ys) {
+    P.Min = std::min(P.Min, Y);
+    P.Max = std::max(P.Max, Y);
+    P.MaxAbs = std::max(P.MaxAbs, std::fabs(Y));
+    Distinct.insert(Y);
+  }
+  P.UniqueValues = Distinct.size();
+  for (size_t I = 0; I + 2 < P.N; ++I)
+    P.MaxAbsD2 =
+        std::max(P.MaxAbsD2, std::fabs(Ys[I + 2] - 2.0 * Ys[I + 1] + Ys[I]));
+  for (size_t I = 0; I + 3 < P.N; ++I)
+    P.MaxAbsD3 = std::max(
+        P.MaxAbsD3,
+        std::fabs(Ys[I + 3] - 3.0 * Ys[I + 2] + 3.0 * Ys[I + 1] - Ys[I]));
+  return P;
+}
+
+namespace {
+
+/// A per-spine multiset of already-seen operands, hash-bucketed with exact
+/// structural comparison on collision.
+class SeenOperands {
+public:
+  /// Returns true when an equal term was already recorded; records it
+  /// otherwise.
+  bool seenOrRecord(const TermPtr &T) {
+    std::vector<TermPtr> &Bucket = Buckets[termValueHash(T)];
+    for (const TermPtr &Existing : Bucket)
+      if (termEquals(Existing, T))
+        return true;
+    Bucket.push_back(T);
+    return false;
+  }
+
+private:
+  std::unordered_map<size_t, std::vector<TermPtr>> Buckets;
+};
+
+TermPtr canonTerm(const TermPtr &T);
+
+/// Walks one Union spine, dropping operands already in \p Seen. Returns
+/// nullptr when every operand of this subtree was a duplicate, and the
+/// original pointer when nothing changed underneath.
+TermPtr dedupeSpine(const TermPtr &T, SeenOperands &Seen) {
+  if (T->kind() == OpKind::Union) {
+    TermPtr L = dedupeSpine(T->child(0), Seen);
+    TermPtr R = dedupeSpine(T->child(1), Seen);
+    if (!L)
+      return R;
+    if (!R)
+      return L;
+    if (L == T->child(0) && R == T->child(1))
+      return T;
+    return makeTerm(T->op(), {std::move(L), std::move(R)});
+  }
+  // A spine operand: canonicalize any deeper Union trees first so equal
+  // operands compare equal even when their internals dedupe differently.
+  TermPtr C = canonTerm(T);
+  if (Seen.seenOrRecord(C))
+    return nullptr;
+  return C;
+}
+
+/// Recursively canonicalizes \p T: every maximal Union tree gets its own
+/// operand multiset. Returns the original pointer when nothing changed.
+TermPtr canonTerm(const TermPtr &T) {
+  if (T->kind() == OpKind::Union) {
+    SeenOperands Seen;
+    TermPtr Out = dedupeSpine(T, Seen);
+    // The first operand is always kept, so a spine never vanishes.
+    assert(Out && "union spine deduped to nothing");
+    return Out;
+  }
+  std::vector<TermPtr> Kids;
+  bool Changed = false;
+  Kids.reserve(T->numChildren());
+  for (const TermPtr &Kid : T->children()) {
+    Kids.push_back(canonTerm(Kid));
+    Changed |= Kids.back() != Kid;
+  }
+  if (!Changed)
+    return T;
+  return makeTerm(T->op(), std::move(Kids));
+}
+
+} // namespace
+
+TermPtr shrinkray::dedupeUnionOperands(const TermPtr &FlatCsg) {
+  return canonTerm(FlatCsg);
+}

@@ -16,6 +16,7 @@
 #include "synth/Determinize.h"
 
 #include <algorithm>
+#include <map>
 #include <set>
 
 using namespace shrinkray;
@@ -122,11 +123,26 @@ shrinkray::determinize(const EGraph &G, EClassId ListClass,
   if (!Elements || Elements->empty())
     return Results;
 
+  // Dedup-aware chain enumeration: chains are a pure function of the
+  // canonical element class, and duplicate-heavy lists (the recorded
+  // pathology: n identical elements) would otherwise redo the exponential
+  // enumeration n times per template. Memoize per distinct class.
+  std::map<EClassId, std::vector<AffineChain>> ChainCache;
+  auto chainsOf = [&](EClassId Elem) -> const std::vector<AffineChain> & {
+    auto [It, Inserted] = ChainCache.try_emplace(G.find(Elem));
+    if (Inserted)
+      It->second = enumerateChains(G, It->first);
+    return It->second;
+  };
+  std::set<EClassId> DistinctElements;
+  for (EClassId Elem : *Elements)
+    DistinctElements.insert(G.find(Elem));
+
   // Candidate (kind-sequence, base) templates come from the first element;
   // the heuristic then checks every other element for a matching chain
   // (paper: "first picking an element and respecting the same order of
   // affine transformations for all other elements").
-  std::vector<AffineChain> FirstChains = enumerateChains(G, (*Elements)[0]);
+  const std::vector<AffineChain> &FirstChains = chainsOf((*Elements)[0]);
 
   for (const AffineChain &Template : FirstChains) {
     if (Results.size() >= MaxResults)
@@ -137,13 +153,14 @@ shrinkray::determinize(const EGraph &G, EClassId ListClass,
     ChainDecomposition D;
     D.Base = G.find(Template.Base);
     D.Elements = *Elements;
+    D.UniqueElements = DistinctElements.size();
     D.Vectors.assign(Template.Layers.size(), {});
     for (size_t L = 0; L < Template.Layers.size(); ++L)
       D.LayerKinds.push_back(Template.Layers[L].Kind);
 
     bool AllMatch = true;
     for (EClassId Elem : *Elements) {
-      std::vector<AffineChain> Chains = enumerateChains(G, Elem);
+      const std::vector<AffineChain> &Chains = chainsOf(Elem);
       const AffineChain *Match = nullptr;
       for (const AffineChain &C : Chains) {
         if (C.Layers.size() != Template.Layers.size() ||

@@ -46,6 +46,12 @@ struct ChainDecomposition {
   std::vector<std::vector<Vec3>> Vectors;
   /// The element classes, in list order (needed for re-sorting).
   std::vector<EClassId> Elements;
+  /// Number of distinct element classes (canonical ids). Duplicate-heavy
+  /// lists have UniqueElements << numElements(); the determinizer
+  /// enumerates chains once per distinct class, so this is also the
+  /// enumeration count behind the decomposition (solver-pipeline stage 0's
+  /// dedup awareness).
+  size_t UniqueElements = 0;
 
   size_t numElements() const { return Elements.size(); }
   size_t numLayers() const { return LayerKinds.size(); }

@@ -100,12 +100,26 @@ struct LayerForms {
   std::array<std::vector<ClosedForm>, 3> Comp;
 };
 
-/// Collects the used (non-constant when possible) form kinds of a layer.
+/// Appends \p Module to \p Modules unless already present (records stay
+/// small; first-use order is the reporting order).
+void recordModule(const char *Module, std::vector<std::string> &Modules) {
+  if (!Module || !*Module)
+    return;
+  for (const std::string &Existing : Modules)
+    if (Existing == Module)
+      return;
+  Modules.emplace_back(Module);
+}
+
+/// Collects the used (non-constant when possible) form kinds of a layer,
+/// plus the pipeline modules that produced them.
 void recordForms(const std::array<const ClosedForm *, 3> &Picked,
-                 std::vector<FormKind> &Out) {
-  for (const ClosedForm *F : Picked)
+                 InferenceRecord &Rec) {
+  for (const ClosedForm *F : Picked) {
     if (F->Kind != FormKind::Constant)
-      Out.push_back(F->Kind);
+      Rec.Forms.push_back(F->Kind);
+    recordModule(F->Module, Rec.Modules);
+  }
 }
 
 /// Builds the Vec3 expression term of one layer under index variable `i`,
@@ -226,7 +240,7 @@ shrinkray::inferFunctions(EGraph &G, EClassId ListClass,
         Picked[C] = pick(Layers[L].Comp[C], PreferTrig);
         Signature << static_cast<int>(Picked[C]->Kind) << ",";
       }
-      recordForms(Picked, Rec.Forms);
+      recordForms(Picked, Rec);
       TermPtr Body = makeTerm(Op(D.LayerKinds[L]),
                               {layerVecTerm(D.LayerKinds[L], Picked),
                                tVar("c")});
@@ -373,6 +387,8 @@ shrinkray::inferLoops(EGraph &G, EClassId ListClass,
       Rec.K = InferenceRecord::Kind::NestedFold;
       Rec.Bounds = Factors;
       Rec.Forms.assign(1, FormKind::Poly1);
+      // Multi-index linear fits come from the facade, not a module.
+      recordModule("linear", Rec.Modules);
       std::ostringstream Os;
       Os << M << "-nested loop over";
       for (int64_t F : Factors)
@@ -444,6 +460,8 @@ shrinkray::inferIrregular(EGraph &G, EClassId ListClass,
     if (!FormY || !FormZ)
       return Records;
     Rec.Forms.push_back(FormY->Kind);
+    recordModule(FormY->Module, Rec.Modules);
+    recordModule(FormZ->Module, Rec.Modules);
     Rec.Bounds.push_back(static_cast<int64_t>(Size));
 
     TermPtr Vec = tVec3(numericLiteral(Gr.X), FormY->toTerm(tVar("i")),

@@ -34,6 +34,9 @@ struct InferenceRecord {
   enum class Kind { Mapi, NestedFold, IrregularFold } K = Kind::Mapi;
   std::vector<int64_t> Bounds;       ///< loop bounds, outermost first
   std::vector<FormKind> Forms;       ///< closed-form classes used
+  /// The solver-pipeline modules whose fits drove this insertion ("poly",
+  /// "trig", "linear"), unique in first-use order (ClosedForm::Module).
+  std::vector<std::string> Modules;
   std::string Description;           ///< human-readable summary
 
   /// Table 1 "n-l" notation, e.g. "n1,60" or "n2,3,5".

@@ -15,6 +15,7 @@
 #include "synth/Synthesizer.h"
 
 #include "rewrites/Rules.h"
+#include "solvers/Preprocess.h"
 
 #include <chrono>
 #include <map>
@@ -47,8 +48,21 @@ SynthesisResult Synthesizer::synthesize(const TermPtr &FlatCsg) const {
   const auto Start = Clock::now();
 
   SynthesisResult Result;
+
+  // Solver-pipeline stage 0 begins at the input: duplicate Union operands
+  // are dropped before the e-graph ever sees them (union is idempotent).
+  // Duplicate elements are the recorded saturation pathology — `union-idem`
+  // merges Union(x, x) into x's own class and the fold-list rules then grow
+  // list classes without bound — so canonicalizing here turns a multi-GB
+  // blowup into a no-op. Duplicate-free inputs pass through untouched
+  // (pointer-identical), keeping their runs byte-for-byte unchanged.
+  const TermPtr Input = dedupeUnionOperands(FlatCsg);
+  if (Input != FlatCsg)
+    Result.Stats.DedupedPrimitives =
+        termPrimitives(FlatCsg) - termPrimitives(Input);
+
   EGraph G;
-  EClassId Root = G.addTerm(FlatCsg);
+  EClassId Root = G.addTerm(Input);
   G.rebuild();
 
   const std::vector<Rewrite> Rules = pipelineRules();
@@ -56,7 +70,12 @@ SynthesisResult Synthesizer::synthesize(const TermPtr &FlatCsg) const {
   // tries are a pure function of the rules, so recompiling per round
   // would only burn time.
   const RuleSet CompiledRules(Rules);
-  const FunctionSolver Solver(Opts.Solver);
+  // The job's cancellation token is shared with the solver pipeline so a
+  // deadline firing mid-solve stops fitting work between stages and inside
+  // the trig frequency scan (previously the one uncancellable span).
+  SolverOptions SolverOpts = Opts.Solver;
+  SolverOpts.Cancel = Opts.Limits.Cancel;
+  const FunctionSolver Solver(SolverOpts);
   const Pattern FoldPattern = Pattern::parse("(Fold Union Empty ?l)");
   const Symbol ListVar("l");
 
@@ -91,7 +110,34 @@ SynthesisResult Synthesizer::synthesize(const TermPtr &FlatCsg) const {
     Result.Stats.RewriteRebuildSeconds += Result.Stats.Rewriting.RebuildSec;
     if (cancelled())
       break;
+
+    // The engine comes up (or re-syncs) right after saturation, *before*
+    // the solve phase, so each fold site's insertions can be folded in
+    // incrementally as they happen (see refreshAfterSite below).
+    {
+      const auto ExtractStart = Clock::now();
+      G.rebuild();
+      if (!Extraction)
+        Extraction = std::make_unique<KBestExtractor>(G, costFn(Opts.Cost),
+                                                      Opts.TopK);
+      else
+        Extraction->refresh();
+      Result.Stats.ExtractSeconds +=
+          std::chrono::duration<double>(Clock::now() - ExtractStart).count();
+    }
+
     const auto SolveStart = Clock::now();
+    // Extraction work performed inside the solve phase: refreshing after
+    // every fold site keeps the candidate tables warm (each refresh walks
+    // only that site's dirty log) and is billed to ExtractSeconds, not
+    // SolveSeconds.
+    double RefreshInSolveSec = 0.0;
+    auto refreshAfterSite = [&] {
+      const auto RefreshStart = Clock::now();
+      Extraction->refresh();
+      RefreshInSolveSec +=
+          std::chrono::duration<double>(Clock::now() - RefreshStart).count();
+    };
 
     // --- Locate fold contexts -------------------------------------------
     // A fold class accumulates one Fold node per extension step, so it can
@@ -161,20 +207,21 @@ SynthesisResult Synthesizer::synthesize(const TermPtr &FlatCsg) const {
         }
       }
       G.rebuild();
+      refreshAfterSite();
     }
     Result.Stats.SolveSeconds +=
-        std::chrono::duration<double>(Clock::now() - SolveStart).count();
+        std::chrono::duration<double>(Clock::now() - SolveStart).count() -
+        RefreshInSolveSec;
+    Result.Stats.ExtractSeconds += RefreshInSolveSec;
     if (cancelled())
       break;
 
     // --- Top-k extraction (Fig. 5 lines 8-9), kept fresh per round ------
+    // Every site already refreshed the engine; this re-sync only covers a
+    // round with zero sites (and is then O(1) on the clean graph).
     G.rebuild();
     const auto ExtractStart = Clock::now();
-    if (!Extraction)
-      Extraction = std::make_unique<KBestExtractor>(G, costFn(Opts.Cost),
-                                                    Opts.TopK);
-    else
-      Extraction->refresh();
+    Extraction->refresh();
     Result.Stats.ExtractSeconds +=
         std::chrono::duration<double>(Clock::now() - ExtractStart).count();
   }
@@ -193,6 +240,10 @@ SynthesisResult Synthesizer::synthesize(const TermPtr &FlatCsg) const {
   Result.Programs = Extraction->extract(Root);
   Result.Stats.ExtractSeconds +=
       std::chrono::duration<double>(Clock::now() - ExtractStart).count();
+  const SolveBreakdown &Solve = Solver.breakdown();
+  Result.Stats.SolvePreprocessSeconds = Solve.PreprocessSec;
+  Result.Stats.SolvePruneSeconds = Solve.PruneSec;
+  Result.Stats.SolveFitSeconds = Solve.FitSec;
   Result.Stats.ENodes = G.numNodes();
   Result.Stats.EClasses = G.numClasses();
   Result.Stats.Seconds =

@@ -58,6 +58,10 @@ struct SynthesisStats {
   /// retains the last round's report — this flag covers them all).
   bool WallClockTruncated = false;
   RunnerReport Rewriting;      ///< saturation report (last main iteration)
+  /// Primitives removed by stage-0 input canonicalization (duplicate Union
+  /// operands; union is idempotent). 0 for duplicate-free inputs, where
+  /// canonicalization is the identity.
+  size_t DedupedPrimitives = 0;
   size_t FoldSites = 0;        ///< fold contexts examined
   size_t Decompositions = 0;   ///< determinized lists solved
   std::vector<InferenceRecord> Records; ///< programs the solvers inserted
@@ -75,6 +79,13 @@ struct SynthesisStats {
   double RewriteSearchSeconds = 0.0;
   double RewriteApplySeconds = 0.0;
   double RewriteRebuildSeconds = 0.0;
+  // Solver-pipeline stages of SolveSeconds (SolveBreakdown totals): stage-0
+  // sequence profiling, stage-1 family pruning, stage-2 module fitting.
+  // The remainder of SolveSeconds is determinization, graph insertion, and
+  // the multi-index loop fits.
+  double SolvePreprocessSeconds = 0.0;
+  double SolvePruneSeconds = 0.0;
+  double SolveFitSeconds = 0.0;
 };
 
 /// The top-k programs plus run statistics.

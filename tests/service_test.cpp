@@ -144,6 +144,43 @@ TEST(SynthesisServiceTest, DeadlineReturnsPartialResultWithoutDeadlock) {
   EXPECT_FALSE(QuickOut.Result.Programs.empty());
 }
 
+TEST(SynthesisServiceTest, DeadlineSweepLandsMidPipelineAndStaysPartial) {
+  // Deadlines at several magnitudes land at different pipeline points —
+  // during saturation, mid-solve (the solver pipeline polls the token
+  // between stages and inside the trig frequency scan), or after
+  // completion. Whichever fires, the job must come back promptly as either
+  // a full success or a Cancelled outcome whose partial result is still
+  // well-formed, and the pool must survive the whole sweep.
+  ServiceConfig Cfg;
+  Cfg.NumWorkers = 1;
+  Cfg.EnableCache = false;
+  SynthesisService Service(Cfg);
+
+  const TermPtr Input = models::modelByName("3432939:nintendo-slot").FlatCsg;
+  for (double DeadlineSec : {0.002, 0.01, 0.05, 0.25}) {
+    JobSpec Spec;
+    Spec.Name = "sweep";
+    Spec.Input = Input;
+    Spec.DeadlineSec = DeadlineSec;
+    const JobOutcome &Out = Service.wait(Service.submit(std::move(Spec)));
+    if (Out.St == JobOutcome::Status::Cancelled) {
+      EXPECT_TRUE(Out.Result.Stats.Cancelled);
+      EXPECT_FALSE(Out.Result.Programs.empty());
+    } else {
+      EXPECT_EQ(Out.St, JobOutcome::Status::Succeeded);
+      EXPECT_FALSE(Out.Result.Stats.Cancelled);
+      EXPECT_FALSE(Out.Result.Programs.empty());
+    }
+  }
+
+  // The worker is still serving after repeated mid-pipeline cancellations.
+  JobSpec Quick;
+  Quick.Name = "after-sweep";
+  Quick.Source = "(Union Unit (Translate (Vec3 2 0 0) Unit))";
+  const JobOutcome &QuickOut = Service.wait(Service.submit(std::move(Quick)));
+  EXPECT_EQ(QuickOut.St, JobOutcome::Status::Succeeded);
+}
+
 TEST(SynthesisServiceTest, CancelQueuedJobCompletesWithoutRunning) {
   ServiceConfig Cfg;
   Cfg.NumWorkers = 1; // one worker: the second submission must queue
