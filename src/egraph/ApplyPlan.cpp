@@ -1,0 +1,99 @@
+//===-- egraph/ApplyPlan.cpp - Conflict partitioning for apply ------------===//
+
+#include "egraph/ApplyPlan.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+using namespace shrinkray;
+
+namespace {
+
+/// Minimal union-find over match list positions (not e-classes): the
+/// e-graph's own UnionFind tracks class equivalence, which is exactly what
+/// the partitioner must NOT consult (closures are frozen snapshots).
+class MatchDsu {
+public:
+  explicit MatchDsu(size_t N) : Parent(N) {
+    for (size_t I = 0; I < N; ++I)
+      Parent[I] = static_cast<uint32_t>(I);
+  }
+
+  uint32_t find(uint32_t X) {
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]];
+      X = Parent[X];
+    }
+    return X;
+  }
+
+  void unite(uint32_t A, uint32_t B) {
+    A = find(A);
+    B = find(B);
+    if (A == B)
+      return;
+    // Lower position wins the root so component representatives are the
+    // earliest match — convenient, though the final ordering below does
+    // not depend on it.
+    if (B < A)
+      std::swap(A, B);
+    Parent[B] = A;
+  }
+
+private:
+  std::vector<uint32_t> Parent;
+};
+
+} // namespace
+
+std::vector<ApplyPartition>
+shrinkray::partitionMatches(const std::vector<MatchClosure> &Closures) {
+  const size_t N = Closures.size();
+  MatchDsu Dsu(N);
+
+  // Each class remembers the first closure that claimed it; later
+  // claimants union with that owner. Duplicate classes within one closure
+  // collapse to a self-union (a no-op), so self-referential matches need
+  // no special casing.
+  std::unordered_map<EClassId, uint32_t> Owner;
+  Owner.reserve(N * 2);
+  for (uint32_t I = 0; I < N; ++I) {
+    for (EClassId C : Closures[I].Classes) {
+      auto [It, Inserted] = Owner.emplace(C, I);
+      if (!Inserted)
+        Dsu.unite(It->second, I);
+    }
+  }
+
+  // Group members by component, keyed and ordered by each component's
+  // smallest match index. Closures are not required to arrive sorted by
+  // MatchIdx; the output is normalized regardless.
+  std::unordered_map<uint32_t, size_t> Slot; // dsu root -> output index
+  std::vector<ApplyPartition> Out;
+  std::vector<uint32_t> MinIdx;
+  for (uint32_t I = 0; I < N; ++I) {
+    uint32_t Root = Dsu.find(I);
+    auto [It, Inserted] = Slot.emplace(Root, Out.size());
+    if (Inserted) {
+      Out.emplace_back();
+      MinIdx.push_back(Closures[I].MatchIdx);
+    }
+    ApplyPartition &P = Out[It->second];
+    P.Matches.push_back(Closures[I].MatchIdx);
+    MinIdx[It->second] = std::min(MinIdx[It->second], Closures[I].MatchIdx);
+  }
+  for (ApplyPartition &P : Out)
+    std::sort(P.Matches.begin(), P.Matches.end());
+
+  std::vector<size_t> Order(Out.size());
+  for (size_t I = 0; I < Order.size(); ++I)
+    Order[I] = I;
+  std::sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+    return MinIdx[A] < MinIdx[B];
+  });
+  std::vector<ApplyPartition> Sorted;
+  Sorted.reserve(Out.size());
+  for (size_t I : Order)
+    Sorted.push_back(std::move(Out[I]));
+  return Sorted;
+}

@@ -1,0 +1,58 @@
+//===-- egraph/ApplyPlan.h - Conflict partitioning for apply ----*- C++ -*-===//
+//
+// Part of the ShrinkRay reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The conflict partitioner behind the Runner's parallel apply phase. Each
+/// plannable match carries a *closure*: the canonical e-classes its merge
+/// may mutate (the matched LHS class, the classes its substitution binds,
+/// and the resolved RHS class). Two matches conflict when their closures
+/// intersect; the transitive closure of that relation partitions the match
+/// set into groups that can execute on separate threads — merges inside a
+/// partition serialize in match order, partitions never touch a common
+/// class, so no lock guards merge (a mutex around merge is explicitly not
+/// the design; the partitioner is).
+///
+/// Determinism: the partition list is a pure function of the closure list
+/// — partitions are emitted ordered by their smallest match index and list
+/// their matches ascending — so the downstream execute/commit schedule is
+/// identical at every thread count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHRINKRAY_EGRAPH_APPLYPLAN_H
+#define SHRINKRAY_EGRAPH_APPLYPLAN_H
+
+#include "egraph/ENode.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace shrinkray {
+
+/// One plannable match's conflict footprint. Classes must be canonical as
+/// of the frozen planning snapshot; duplicates (self-referential matches,
+/// nonlinear bindings) are tolerated and deduplicated internally.
+struct MatchClosure {
+  uint32_t MatchIdx = 0;          ///< position in the rule's match list
+  std::vector<EClassId> Classes;  ///< canonical classes the apply may touch
+};
+
+/// A group of matches whose closures are transitively connected. Matches
+/// are listed in ascending MatchIdx order (the intra-partition execution
+/// order).
+struct ApplyPartition {
+  std::vector<uint32_t> Matches;
+};
+
+/// Partitions \p Closures into connected components under closure
+/// overlap. Output partitions are ordered by smallest member MatchIdx;
+/// a match with an empty closure forms its own partition.
+std::vector<ApplyPartition>
+partitionMatches(const std::vector<MatchClosure> &Closures);
+
+} // namespace shrinkray
+
+#endif // SHRINKRAY_EGRAPH_APPLYPLAN_H

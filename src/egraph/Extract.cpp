@@ -67,12 +67,13 @@ int enodeCompare(const EGraph &G, const ENode &A, const ENode &B) {
 
 /// Cost of \p Node given the per-class cost table, or nullopt while any
 /// child is still unextractable. Children are resolved through find(), so
-/// stale node forms cost correctly.
+/// stale node forms cost correctly. \p Kids is caller-owned scratch —
+/// relaxation calls this once per (class, node) visit, and a fresh
+/// allocation per call dominated the one-best refresh profile.
 std::optional<double> nodeCost(const EGraph &G, const CostFn &Fn,
                                const std::unordered_map<EClassId, double> &Costs,
-                               const ENode &Node) {
-  std::vector<double> Kids;
-  Kids.reserve(Node.Children.size());
+                               const ENode &Node, std::vector<double> &Kids) {
+  Kids.clear();
   for (EClassId Kid : Node.Children) {
     auto It = Costs.find(G.find(Kid));
     if (It == Costs.end())
@@ -273,6 +274,25 @@ Extractor::Extractor(const EGraph &G, const CostFn &Fn) : G(G), Fn(Fn) {
 
 Extractor::~Extractor() { G.releaseDirtyLease(DirtyLease); }
 
+namespace {
+
+/// Erases every row of \p Table whose key is no longer canonical. Stale
+/// rows are unreachable (lookups canonicalize through find() first), so
+/// dropping them never changes results — but in long-lived sessions the
+/// merge churn of many saturation rounds leaves tables dominated by
+/// superseded keys. Callers sweep only when stale rows dominate
+/// (amortized O(1) per refresh).
+template <typename Map> void eraseStaleRows(const EGraph &G, Map &Table) {
+  for (auto It = Table.begin(); It != Table.end();) {
+    if (G.find(It->first) != It->first)
+      It = Table.erase(It);
+    else
+      ++It;
+  }
+}
+
+} // namespace
+
 void Extractor::refresh() {
   assert(!G.isDirty() && "refresh on a dirty e-graph");
   if (G.generation() == SyncedGen) {
@@ -287,10 +307,14 @@ void Extractor::refresh() {
   SyncedGen = G.generation();
   G.updateDirtyLease(DirtyLease, SyncedGen);
   BuildMemo.clear();
+  if (Costs.size() > 2 * G.numClasses()) {
+    eraseStaleRows(G, Costs);
+    eraseStaleRows(G, Choices);
+  }
 }
 
 bool Extractor::relax(EClassId Id, const ENode &Node) {
-  std::optional<double> C = nodeCost(G, Fn, Costs, Node);
+  std::optional<double> C = nodeCost(G, Fn, Costs, Node, KidCostScratch);
   if (!C)
     return false;
   auto It = Costs.find(Id);
@@ -371,11 +395,12 @@ ReferenceExtractor::ReferenceExtractor(const EGraph &G, const CostFn &Fn)
   // this terminates. Same tie-break as the worklist engine, so the unique
   // fixpoint — and therefore every extracted term — is bit-identical.
   bool Changed = true;
+  std::vector<double> KidScratch;
   while (Changed) {
     Changed = false;
     for (EClassId Id : G.classIds()) {
       for (const ENode &Node : G.eclass(Id).Nodes) {
-        std::optional<double> C = nodeCost(G, Fn, Costs, Node);
+        std::optional<double> C = nodeCost(G, Fn, Costs, Node, KidScratch);
         if (!C)
           continue;
         auto It = Costs.find(Id);
@@ -422,8 +447,10 @@ TermPtr ReferenceExtractor::build(EClassId Id) const {
 // Top-k extraction: worklist engine
 //===----------------------------------------------------------------------===//
 
-KBestExtractor::KBestExtractor(const EGraph &G, const CostFn &Fn, size_t K)
-    : G(G), Fn(Fn), K(K), OneBest(G, Fn) {
+KBestExtractor::KBestExtractor(const EGraph &G, const CostFn &Fn, size_t K,
+                               size_t NumThreads)
+    : G(G), Fn(Fn), K(K), Threads(resolveThreads(NumThreads)),
+      OneBest(G, Fn) {
   assert(!G.isDirty() && "extraction on a dirty e-graph");
   assert(K >= 1 && "k must be positive");
   deriveFrom(G.classIds());
@@ -443,46 +470,167 @@ void KBestExtractor::refresh() {
   deriveFrom(G.takeDirtySince(SyncedGen));
   SyncedGen = G.generation();
   G.updateDirtyLease(DirtyLease, SyncedGen);
+  if (Table.size() > 2 * G.numClasses())
+    eraseStaleRows(G, Table);
 }
 
+namespace {
+
+/// Waves below this size run inline on the calling thread: dispatching a
+/// handful of combines costs more in wake-ups than it saves. A property of
+/// the wave (graph-dependent, not thread-count-dependent), so crossing it
+/// never changes results.
+constexpr size_t ParallelWaveThreshold = 64;
+
+} // namespace
+
 void KBestExtractor::deriveFrom(const std::vector<EClassId> &Seeds) {
-  // Priority worklist keyed by one-best cost: under a monotone cost
-  // function children are (weakly) cheaper than parents, so in the common
-  // acyclic case every class is combined exactly once, after its children.
-  using PQItem = std::pair<double, EClassId>;
-  std::priority_queue<PQItem, std::vector<PQItem>, std::greater<PQItem>> PQ;
+  // Wave-scheduled worklist (docs/ARCHITECTURE.md, "Parallel k-best
+  // extraction"). Each round selects the pending classes whose node
+  // children are all settled (children first, so the common acyclic case
+  // recombines every class exactly once), sorts them by (one-best cost,
+  // id), and recombines them against the *frozen* candidate table —
+  // combineClass is a pure function of (graph, table), so wave members
+  // can run on worker threads, each writing its own result slot. Commits
+  // then run serially in wave order, and parents of changed classes
+  // rejoin the pending set. The schedule is a pure function of the
+  // graph, so the table is bit-identical at every thread count; and
+  // because candidate lists improve monotonically toward a unique least
+  // fixpoint (the property the oracle differential tests pin), it agrees
+  // with the serial priority-queue engine it replaced.
+  //
+  // Readiness is event-driven, not rescanned: a blocked class can only
+  // become ready when a pending child commits (or when it is itself
+  // re-enqueued), so each round rechecks exactly the classes one of those
+  // events touched — the Recheck list. Chain-shaped graphs (flat CSG is
+  // mostly chains) produce thousands of tiny waves, and a full
+  // ready-scan of Pending per wave made the scheduler quadratic there:
+  // ~1.8 s of a 2.4 s nintendo-slot derivation was the rescans alone.
   std::unordered_set<EClassId> Pending;
+  std::vector<EClassId> Recheck;
+  // Fallback aid: min-heap of (one-best cost, id) with at least one live
+  // entry per pending class (lazy deletion — entries of classes that left
+  // the pending set are skipped on pop). One-best costs are fixed for the
+  // whole derivation, so the heap's minimum over live entries is exactly
+  // the deterministic (cost, id) minimum of Pending; without it every
+  // cycle-fallback round rescans the full pending set, which on
+  // cycle-heavy graphs (gear) costs more than the combines themselves.
+  using PQItem = std::pair<double, EClassId>;
+  std::priority_queue<PQItem, std::vector<PQItem>, std::greater<PQItem>>
+      CheapestPending;
   auto enqueue = [&](EClassId Id) {
     Id = G.find(Id);
-    std::optional<double> C = OneBest.bestCost(Id);
-    if (!C)
-      return; // no finite cost => can never have candidates
-    if (Pending.insert(Id).second)
-      PQ.emplace(*C, Id);
+    // no finite cost => can never have candidates
+    if (std::optional<double> C = OneBest.bestCost(Id)) {
+      if (Pending.insert(Id).second)
+        CheapestPending.emplace(*C, Id);
+      // Unconditional: a re-enqueue is a readiness event even when the
+      // class never left the pending set (its children may have).
+      Recheck.push_back(Id);
+    }
   };
+  Pending.reserve(Seeds.size());
   for (EClassId Id : Seeds)
     enqueue(Id);
+  if (Pending.empty())
+    return;
 
-  // Candidate lists only improve and are bounded, so this terminates; the
-  // pop cap mirrors the oracle's pass cap — sheer paranoia for graphs
+  // Concurrent combines only read the graph through find()/eclass();
+  // compress the union-find once so those reads are write-free.
+  // (deriveFrom never mutates the graph, so this covers every wave.)
+  G.prepareForConcurrentReads();
+
+  auto isReady = [&](EClassId Id) {
+    for (const ENode &Node : G.eclass(Id).Nodes)
+      for (EClassId Kid : Node.Children) {
+        EClassId C = G.find(Kid);
+        if (C != Id && Pending.count(C))
+          return false;
+      }
+    return true;
+  };
+
+  // Wave members sort by (one-best cost, id); the cost is decorated in
+  // rather than looked up per comparison.
+  std::vector<std::pair<double, EClassId>> Wave;
+  std::vector<std::vector<ExtractCandidate>> Results;
+  // Mirrors the serial engine's pop cap — sheer paranoia for graphs
   // where k-truncation feedback through cycles could oscillate.
-  size_t PopsLeft = (4 * G.numClasses() + 8) * (K + 2);
-  while (!PQ.empty() && PopsLeft-- > 0) {
-    EClassId Id = PQ.top().second;
-    PQ.pop();
-    if (!Pending.erase(Id))
-      continue; // duplicate queue entry; already recombined
-    std::vector<ExtractCandidate> New = combineClass(G, Fn, K, Id, Table);
-    std::vector<ExtractCandidate> &Slot = Table[Id];
-    if (listsEqual(Slot, New))
-      continue;
-    Slot = std::move(New);
-    // A changed list is observable only through referencing e-nodes; the
-    // parent index is exactly that edge set (self-loops included).
-    for (const auto &[PNode, PClass] : G.canonicalParents(Id))
-      enqueue(PClass);
+  size_t CombinesLeft = (4 * G.numClasses() + 8) * (K + 2);
+  while (!Pending.empty()) {
+    Wave.clear();
+    std::sort(Recheck.begin(), Recheck.end());
+    Recheck.erase(std::unique(Recheck.begin(), Recheck.end()), Recheck.end());
+    for (EClassId Id : Recheck)
+      if (Pending.count(Id) && isReady(Id))
+        Wave.emplace_back(*OneBest.bestCost(Id), Id);
+    Recheck.clear();
+    if (Wave.empty()) {
+      // Every pending class sits on a cycle (a blocked class always has a
+      // pending child, so nothing outside Recheck can be ready): fall
+      // back to the single cheapest member — exactly what the serial
+      // queue would pop next. Its wave-mates stay blocked until it
+      // commits, so they re-enter through the recheck of its parents.
+      // The heap cannot run dry here: every pending class has a live
+      // entry, and Pending is non-empty.
+      while (!Pending.count(CheapestPending.top().second))
+        CheapestPending.pop();
+      Wave.push_back(CheapestPending.top());
+      CheapestPending.pop();
+      // The fallback pick consumed the round's recheck knowledge; rebuild
+      // it for the next round from the classes its commit will unblock
+      // (handled below via canonicalParents) — nothing extra needed here.
+    } else {
+      std::sort(Wave.begin(), Wave.end());
+    }
+
+    if (CombinesLeft < Wave.size()) {
+      assert(false && "k-best wave scheduler hit its paranoia cap");
+      break;
+    }
+    CombinesLeft -= Wave.size();
+
+    Results.resize(Wave.size());
+    auto combineOne = [&](size_t I) {
+      Results[I] = combineClass(G, Fn, K, Wave[I].second, Table);
+    };
+    if (Threads > 1 && Wave.size() >= ParallelWaveThreshold) {
+      if (!Pool)
+        Pool = std::make_unique<WorkerPool>(Threads - 1);
+      Pool->run(Wave.size(), combineOne);
+    } else {
+      for (size_t I = 0; I < Wave.size(); ++I)
+        combineOne(I);
+    }
+
+    // Commit in wave order. Members leave the pending set first so a
+    // changed wave-mate that references them can re-enqueue them for the
+    // next round; a changed list is observable only through referencing
+    // e-nodes (the parent index, self-loops included). Every committed
+    // class rechecks its still-pending parents — that, plus re-enqueues,
+    // is the complete set of readiness transitions.
+    for (const auto &[Cost, Id] : Wave) {
+      (void)Cost;
+      Pending.erase(Id);
+    }
+    for (size_t I = 0; I < Wave.size(); ++I) {
+      EClassId Id = Wave[I].second;
+      bool Changed = false;
+      std::vector<ExtractCandidate> &Slot = Table[Id];
+      if (!listsEqual(Slot, Results[I])) {
+        Slot = std::move(Results[I]);
+        Changed = true;
+      }
+      for (const auto &[PNode, PClass] : G.canonicalParents(Id)) {
+        (void)PNode;
+        EClassId P = G.find(PClass);
+        if (Changed)
+          enqueue(P);
+        else if (Pending.count(P))
+          Recheck.push_back(P);
+      }
+    }
   }
-  assert(PQ.empty() && "k-best worklist hit its paranoia cap");
 }
 
 std::vector<RankedTerm> KBestExtractor::extract(EClassId Id) const {

@@ -41,9 +41,11 @@
 #define SHRINKRAY_EGRAPH_EXTRACT_H
 
 #include "egraph/EGraph.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 #include <unordered_map>
 
 namespace shrinkray {
@@ -105,8 +107,15 @@ public:
   /// Re-derives costs after graph mutations (merges, added nodes, analysis
   /// changes) at cost proportional to the dirty closure since the last
   /// derivation. Requires a clean graph. Equivalent to rebuilding the
-  /// extractor from scratch, but incremental.
+  /// extractor from scratch, but incremental. Also compacts the cost
+  /// tables when merges have left them dominated by superseded
+  /// (non-canonical) keys — long-lived sessions would otherwise grow them
+  /// without bound.
   void refresh();
+
+  /// Rows currently held by the cost table, stale keys included (tests
+  /// assert bounded growth across long sessions).
+  size_t tableEntries() const { return Costs.size(); }
 
   /// Cheapest cost of any term in the class, if one is extractable.
   std::optional<double> bestCost(EClassId Id) const;
@@ -131,6 +140,9 @@ private:
   std::unordered_map<EClassId, double> Costs;
   std::unordered_map<EClassId, ENode> Choices;
   mutable std::unordered_map<EClassId, TermPtr> BuildMemo;
+  /// Child-cost scratch reused across relax() calls (one allocation per
+  /// derivation instead of one per node visit).
+  std::vector<double> KidCostScratch;
 
   /// Re-derives (cost, choice) for \p Seeds and propagates improvements
   /// upward along canonicalParents to the unique fixpoint.
@@ -192,7 +204,12 @@ struct ExtractCandidate {
 /// graph mutations, like Extractor.
 class KBestExtractor {
 public:
-  KBestExtractor(const EGraph &G, const CostFn &Fn, size_t K);
+  /// \p NumThreads: engine threads for the wave-scheduled recombination
+  /// (see deriveFrom). 1 = serial; 0 = auto (resolveThreads). The wave
+  /// schedule is a pure function of the graph, so any value produces
+  /// bit-identical candidate tables.
+  KBestExtractor(const EGraph &G, const CostFn &Fn, size_t K,
+                 size_t NumThreads = 1);
 
   /// Releases the engine's dirty-log lease; see Extractor.
   ~KBestExtractor();
@@ -201,20 +218,29 @@ public:
   KBestExtractor &operator=(const KBestExtractor &) = delete;
 
   /// Incrementally re-derives candidate lists after graph mutations; see
-  /// Extractor::refresh().
+  /// Extractor::refresh(). Like Extractor, compacts superseded candidate
+  /// rows once they dominate the table.
   void refresh();
 
   /// Up to k cheapest distinct terms of the class, cheapest first.
   std::vector<RankedTerm> extract(EClassId Id) const;
 
+  /// Rows currently held by the candidate table, stale keys included
+  /// (tests assert bounded growth across long sessions).
+  size_t tableEntries() const { return Table.size(); }
+
 private:
   const EGraph &G;
   const CostFn &Fn;
   size_t K;
+  size_t Threads;    ///< resolved engine thread count (1 = serial)
   Extractor OneBest; ///< processing priority + refresh seed costs
   uint64_t SyncedGen = 0;
   uint64_t DirtyLease = 0; ///< see Extractor::DirtyLease
   std::unordered_map<EClassId, std::vector<ExtractCandidate>> Table;
+  /// Created lazily by the first wave large enough to dispatch; graphs
+  /// that never produce such a wave never start a thread.
+  std::unique_ptr<WorkerPool> Pool;
 
   void deriveFrom(const std::vector<EClassId> &Seeds);
 };

@@ -2,13 +2,11 @@
 
 #include "egraph/Runner.h"
 
+#include "egraph/ApplyPlan.h"
+#include "support/ThreadPool.h"
+
 #include <algorithm>
-#include <atomic>
 #include <chrono>
-#include <condition_variable>
-#include <functional>
-#include <mutex>
-#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -21,123 +19,6 @@ using Clock = std::chrono::steady_clock;
 double secondsSince(Clock::time_point T0) {
   return std::chrono::duration<double>(Clock::now() - T0).count();
 }
-
-/// Number of search workers (including the calling thread) for the
-/// configured limit. 0 = auto: small and fixed, capped at 4 — phase-1
-/// sharding is by root-op group, and the database has ~10 groups.
-size_t resolveThreads(size_t Configured) {
-  if (Configured != 0)
-    return Configured;
-  unsigned HW = std::thread::hardware_concurrency();
-  return std::min<size_t>(4, HW ? HW : 1);
-}
-
-/// A fixed pool of N-1 workers plus the calling thread, reused across all
-/// iterations of one saturation run. run() hands out task indices through
-/// one atomic cursor, so whichever thread is free takes the next group;
-/// results are deterministic regardless because tasks write disjoint
-/// output slots and are consumed in stable order afterwards.
-class SearchPool {
-public:
-  explicit SearchPool(size_t NumWorkers) {
-    Workers.reserve(NumWorkers);
-    for (size_t I = 0; I < NumWorkers; ++I)
-      Workers.emplace_back([this] { workerLoop(); });
-  }
-
-  SearchPool(const SearchPool &) = delete;
-  SearchPool &operator=(const SearchPool &) = delete;
-
-  ~SearchPool() {
-    {
-      std::lock_guard<std::mutex> L(M);
-      Stop = true;
-    }
-    WorkCV.notify_all();
-    for (std::thread &T : Workers)
-      T.join();
-  }
-
-  /// Runs Fn(0..NumTasks-1), caller participating. Returns once all tasks
-  /// finished. A worker can linger in the old epoch's drain loop for one
-  /// more (losing) ticket probe after that — so publishing the *next*
-  /// epoch waits for Draining == 0 before resetting the ticket counter:
-  /// a stale worker can then never claim a fresh ticket against its dead
-  /// function pointer, and a worker that wakes late adopts an exhausted
-  /// counter and exits without invoking anything.
-  void run(size_t NumTasks, const std::function<void(size_t)> &Fn) {
-    if (NumTasks == 0)
-      return;
-    if (Workers.empty()) {
-      for (size_t I = 0; I < NumTasks; ++I)
-        Fn(I);
-      return;
-    }
-    {
-      std::unique_lock<std::mutex> L(M);
-      DoneCV.wait(L, [&] { return Draining == 0; }); // quiesce stragglers
-      Task = &Fn;
-      Tasks = NumTasks;
-      Next.store(0, std::memory_order_relaxed);
-      Done.store(0, std::memory_order_relaxed);
-      ++Epoch;
-    }
-    WorkCV.notify_all();
-    drain(&Fn, NumTasks);
-    std::unique_lock<std::mutex> L(M);
-    DoneCV.wait(L,
-                [&] { return Done.load(std::memory_order_acquire) == Tasks; });
-  }
-
-private:
-  void drain(const std::function<void(size_t)> *Fn, size_t NumTasks) {
-    for (;;) {
-      size_t I = Next.fetch_add(1, std::memory_order_relaxed);
-      if (I >= NumTasks)
-        return;
-      (*Fn)(I); // a claimed ticket implies this epoch is still published
-      if (Done.fetch_add(1, std::memory_order_acq_rel) + 1 == NumTasks) {
-        std::lock_guard<std::mutex> L(M);
-        DoneCV.notify_all();
-      }
-    }
-  }
-
-  void workerLoop() {
-    uint64_t Seen = 0;
-    for (;;) {
-      const std::function<void(size_t)> *Fn;
-      size_t NumTasks;
-      {
-        std::unique_lock<std::mutex> L(M);
-        WorkCV.wait(L, [&] { return Stop || Epoch != Seen; });
-        if (Stop)
-          return;
-        Seen = Epoch;
-        Fn = Task;
-        NumTasks = Tasks;
-        ++Draining;
-      }
-      drain(Fn, NumTasks);
-      {
-        std::lock_guard<std::mutex> L(M);
-        --Draining;
-      }
-      DoneCV.notify_all();
-    }
-  }
-
-  std::vector<std::thread> Workers;
-  std::mutex M;
-  std::condition_variable WorkCV, DoneCV;
-  const std::function<void(size_t)> *Task = nullptr;
-  size_t Tasks = 0;
-  uint64_t Epoch = 0;
-  size_t Draining = 0; ///< workers currently inside an epoch's drain()
-  bool Stop = false;
-  std::atomic<size_t> Next{0};
-  std::atomic<size_t> Done{0};
-};
 
 /// Applied-match memo key: canonical ids of the match root and every bound
 /// variable, in Pattern::vars() order. FNV-1a over the words.
@@ -153,6 +34,15 @@ struct MatchKeyHash {
 };
 
 using AppliedMemo = std::unordered_set<std::vector<EClassId>, MatchKeyHash>;
+
+/// One post-memo match surviving the apply planner: its position in the
+/// rule's match list, what applying it would do, and its frozen
+/// applied-memo key (canonical as of the plan snapshot).
+struct PlannedMatch {
+  uint32_t Idx = 0;
+  Rewrite::MatchPlan Plan;
+  std::vector<EClassId> Key;
+};
 
 } // namespace
 
@@ -200,13 +90,24 @@ RunnerReport Runner::run(EGraph &G, const RuleSet &DB) const {
   std::vector<size_t> WindowMerged(NumRules, 0);
 
   const size_t Threads = resolveThreads(Limits.NumThreads);
-  SearchPool Pool(Threads > 1 ? Threads - 1 : 0);
+  WorkerPool Pool(Threads > 1 ? Threads - 1 : 0);
 
   // Pre-search cursor snapshots for the mid-apply ban's rollback; hoisted
   // out of the iteration loop so the common no-ban iteration pays one
   // assign() into existing capacity, not fresh allocations.
   std::vector<uint64_t> CursorBefore;
   std::vector<char> EverBefore;
+
+  // Apply-scheduler scratch, likewise hoisted: per-rule plan output,
+  // plan-local dedup set, conflict closures, serial-tail indices, and the
+  // per-partition merge logs / per-match change flags.
+  std::vector<EClassId> Key;
+  std::vector<PlannedMatch> Surviving;
+  AppliedMemo PlanSeen;
+  std::vector<MatchClosure> Closures;
+  std::vector<uint32_t> SerialTail;
+  std::vector<MergeBatchLog> Logs;
+  std::vector<char> MergeChanged;
 
   G.rebuild();
   for (size_t Iter = 0; Iter < Limits.IterLimit; ++Iter) {
@@ -408,51 +309,187 @@ RunnerReport Runner::run(EGraph &G, const RuleSet &DB) const {
     Stats.SearchSec = secondsSince(SearchStart);
 
     // Phase 2: apply everything not yet in the applied memo, then restore
-    // invariants once. The windowed backoff trigger is enforced here,
-    // per merge: the moment a rule's incremental streak crosses
-    // MatchLimit it is banned, its remaining matches are discarded, and
-    // its cursor rolls back to the pre-search value — so the discarded
-    // matches are re-found after the ban (dirtiness is monotone) instead
-    // of being lost, and the streak is capped near the limit even when a
-    // single iteration would have merged many times it.
+    // invariants once. Each rule runs a plan -> partition -> execute ->
+    // commit schedule (docs/ARCHITECTURE.md, "Conflict-partitioned
+    // apply"): a serial plan pass over the frozen graph canonicalizes
+    // applied-memo keys and classifies every match by pure const reads;
+    // matches that reduce to merges of existing constant-free classes are
+    // partitioned by conflict-closure overlap and executed concurrently
+    // (deferred merges, global side effects committed in deterministic
+    // partition order); node-creating and programmatic matches run
+    // serially afterwards, in match order. The whole schedule is a pure
+    // function of the frozen graph, so the resulting e-graph — dirty log,
+    // worklist, and all — is bit-identical at every thread count.
+    //
+    // The windowed backoff trigger survives by demotion: when a rule's
+    // surviving matches could cross MatchLimit mid-apply, the whole rule
+    // runs through the original serial loop, which bans it at the
+    // crossing merge, discards its remaining matches, and rolls its
+    // cursor back to the pre-search value — so the discarded matches are
+    // re-found after the ban (dirtiness is monotone) instead of being
+    // lost. When demotion does not fire, the window provably cannot
+    // cross the limit and the partitioned path never needs to ban.
     const auto ApplyStart = Clock::now();
-    std::vector<EClassId> Key;
     for (size_t R = 0; R < NumRules; ++R) {
       if (AllMatches[R].empty())
         continue;
       RuleStats &RS = Report.Rules[R];
       const auto RuleApplyStart = Clock::now();
       const std::vector<Symbol> &Vars = Rules[R].lhs().vars();
-      bool WindowBan = false;
-      for (const auto &[Root, S] : AllMatches[R]) {
+
+      // Plan (serial, frozen snapshot). Earlier rules' merges have
+      // dirtied the graph, but the reads planning performs — find(),
+      // lookup(), data() — are exact on a dirty graph;
+      // quiesceForReads() compresses the union-find so the execute
+      // phase's concurrent reads below are write-free. A key already in
+      // the applied memo, or seen earlier in this plan, names merge
+      // endpoints that are (or are about to be) equal, so dropping the
+      // match is exact, not just an optimization heuristic.
+      G.quiesceForReads();
+      Surviving.clear();
+      PlanSeen.clear();
+      for (uint32_t MI = 0; MI < AllMatches[R].size(); ++MI) {
+        const auto &[Root, S] = AllMatches[R][MI];
         Key.clear();
         Key.push_back(G.find(Root));
         for (Symbol V : Vars)
           Key.push_back(G.find(S[V]));
         if (Applied[R].find(Key) != Applied[R].end())
           continue; // already merged: re-applying cannot change the graph
-        Rewrite::ApplyOutcome Outcome = Rules[R].applyMatch(G, Root, S);
-        if (Outcome == Rewrite::ApplyOutcome::Skipped)
-          continue; // applier declined (e.g. not yet constant): retry later
-        Applied[R].insert(Key);
-        if (Outcome == Rewrite::ApplyOutcome::Changed) {
-          ++Stats.Applied;
-          ++RS.Applied;
-          if (++WindowMerged[R] > Limits.MatchLimit) {
-            WindowBan = true;
-            break;
+        if (!PlanSeen.insert(Key).second)
+          continue; // duplicate frozen key: identical merge endpoints
+        Surviving.push_back({MI, Rules[R].planMatch(G, Root, S), Key});
+      }
+
+      if (WindowMerged[R] + Surviving.size() > Limits.MatchLimit) {
+        // Demoted: the original serial loop with live keys and the
+        // mid-apply ban. (Phase 1c already capped raw match counts at
+        // MatchLimit, so demotion fires only mid-streak, when the window
+        // is already part-consumed.)
+        bool WindowBan = false;
+        for (const auto &[Root, S] : AllMatches[R]) {
+          Key.clear();
+          Key.push_back(G.find(Root));
+          for (Symbol V : Vars)
+            Key.push_back(G.find(S[V]));
+          if (Applied[R].find(Key) != Applied[R].end())
+            continue;
+          Rewrite::ApplyOutcome Outcome = Rules[R].applyMatch(G, Root, S);
+          if (Outcome == Rewrite::ApplyOutcome::Skipped)
+            continue; // applier declined: retry later
+          Applied[R].insert(Key);
+          ++Stats.SerialMatches;
+          if (Outcome == Rewrite::ApplyOutcome::Changed) {
+            ++Stats.Applied;
+            ++RS.Applied;
+            if (++WindowMerged[R] > Limits.MatchLimit) {
+              WindowBan = true;
+              break;
+            }
           }
         }
+        if (WindowBan) {
+          // Ban starts next iteration and doubles like the search
+          // trigger.
+          BannedUntil[R] = Iter + 1 + BanLength[R];
+          BanLength[R] *= 2;
+          WindowMerged[R] = 0;
+          ++RS.Bans;
+          LastSearchGen[R] = CursorBefore[R];
+          EverSearched[R] = EverBefore[R];
+        }
+        RS.ApplySec += secondsSince(RuleApplyStart);
+        continue;
       }
-      if (WindowBan) {
-        // Ban starts next iteration and doubles like the search trigger.
-        BannedUntil[R] = Iter + 1 + BanLength[R];
-        BanLength[R] *= 2;
-        WindowMerged[R] = 0;
-        ++RS.Bans;
-        LastSearchGen[R] = CursorBefore[R];
-        EverSearched[R] = EverBefore[R];
+
+      // Classify survivors. Pure merges of constant-free classes go to
+      // the partitioner (closure: frozen root + bound classes + resolved
+      // RHS class); plan-level memo hits are recorded without touching
+      // the graph; everything else — node-creating instantiations,
+      // programmatic appliers, constant-carrying merges (whose analysis
+      // join runs the modify() hook, a global mutation) — joins the
+      // serial tail.
+      Closures.clear();
+      SerialTail.clear();
+      size_t RuleChanged = 0;
+      for (uint32_t SI = 0; SI < Surviving.size(); ++SI) {
+        PlannedMatch &PM = Surviving[SI];
+        switch (PM.Plan.K) {
+        case Rewrite::MatchPlan::Kind::MemoHit:
+          Applied[R].insert(PM.Key);
+          break;
+        case Rewrite::MatchPlan::Kind::PureMerge: {
+          EClassId RhsC = G.find(PM.Plan.RhsClass);
+          if (G.data(PM.Key[0]).NumConst || G.data(RhsC).NumConst) {
+            SerialTail.push_back(SI);
+            break;
+          }
+          MatchClosure MC;
+          MC.MatchIdx = SI;
+          MC.Classes = PM.Key; // frozen root + bound classes (canonical)
+          MC.Classes.push_back(RhsC);
+          Closures.push_back(std::move(MC));
+          break;
+        }
+        case Rewrite::MatchPlan::Kind::NeedsNodes:
+        case Rewrite::MatchPlan::Kind::NeedsApplier:
+          SerialTail.push_back(SI);
+          break;
+        }
       }
+
+      // Execute: partitions run concurrently, each buffering its global
+      // side effects in its own merge log and writing change flags to
+      // disjoint slots; merges inside one partition run in match order.
+      const std::vector<ApplyPartition> Parts = partitionMatches(Closures);
+      Logs.assign(Parts.size(), MergeBatchLog{});
+      MergeChanged.assign(Surviving.size(), 0);
+      auto execPartition = [&](size_t PI) {
+        MergeBatchLog &Log = Logs[PI];
+        for (uint32_t SI : Parts[PI].Matches) {
+          const PlannedMatch &PM = Surviving[SI];
+          EClassId Root = AllMatches[R][PM.Idx].first;
+          if (G.mergeDeferred(Root, PM.Plan.RhsClass, Log).second)
+            MergeChanged[SI] = 1;
+        }
+      };
+      if (Threads > 1 && Parts.size() > 1)
+        Pool.run(Parts.size(), execPartition);
+      else
+        for (size_t PI = 0; PI < Parts.size(); ++PI)
+          execPartition(PI);
+
+      // Commit (serial): replay each partition's buffered side effects
+      // in partition order — generation stamps, worklist entries, and
+      // the live-class counter land identically at every thread count.
+      for (MergeBatchLog &Log : Logs)
+        G.commitMergeLog(Log);
+      for (const MatchClosure &MC : Closures) {
+        Applied[R].insert(Surviving[MC.MatchIdx].Key);
+        if (MergeChanged[MC.MatchIdx])
+          ++RuleChanged;
+      }
+      Stats.ApplyPartitions += Parts.size();
+      Stats.ParallelMatches += Closures.size();
+
+      // Serial tail, in match order, after the partitions committed.
+      for (uint32_t SI : SerialTail) {
+        const PlannedMatch &PM = Surviving[SI];
+        const auto &M = AllMatches[R][PM.Idx];
+        Rewrite::ApplyOutcome Outcome =
+            Rules[R].applyMatch(G, M.first, M.second);
+        if (Outcome == Rewrite::ApplyOutcome::Skipped)
+          continue; // applier declined: retry later
+        ++Stats.SerialMatches;
+        Applied[R].insert(PM.Key);
+        if (Outcome == Rewrite::ApplyOutcome::Changed)
+          ++RuleChanged;
+      }
+
+      // No ban can fire here: WindowMerged + |Surviving| <= MatchLimit.
+      WindowMerged[R] += RuleChanged;
+      Stats.Applied += RuleChanged;
+      RS.Applied += RuleChanged;
       RS.ApplySec += secondsSince(RuleApplyStart);
     }
     Stats.ApplySec = secondsSince(ApplyStart);

@@ -95,8 +95,17 @@ struct IterationStats {
   size_t Classes = 0;   ///< e-classes after the iteration
   double Seconds = 0.0; ///< wall time of this iteration (search+apply+rebuild)
   double SearchSec = 0.0;  ///< phase 1: candidate prep + group searches
-  double ApplySec = 0.0;   ///< phase 2: memo filtering + merges
+  double ApplySec = 0.0;   ///< phase 2: plan + partitioned merges + serial tail
   double RebuildSec = 0.0; ///< invariant restoration + log compaction
+  // Apply-scheduler breakdown (see docs/ARCHITECTURE.md, "Conflict-
+  // partitioned apply"): how the iteration's post-memo matches were
+  // executed. All three are pure functions of the graph — identical at
+  // every thread count. Serial matches cover node-creating
+  // instantiations, programmatic appliers, constant-carrying merges, and
+  // demoted rules.
+  size_t ApplyPartitions = 0; ///< conflict groups emitted by the partitioner
+  size_t ParallelMatches = 0; ///< matches executed on the partitioned path
+  size_t SerialMatches = 0;   ///< matches executed on the serial path
 };
 
 /// Per-rule statistics accumulated across the whole run, so regressions in

@@ -26,6 +26,8 @@
 #include "cad/Sexp.h"
 #include "support/Hashing.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
@@ -141,7 +143,28 @@ CacheKey service::makeCacheKey(const TermPtr &FlatInput, uint64_t RulesFp,
   return Key;
 }
 
-ResultCache::ResultCache(std::string Dir) : Dir(std::move(Dir)) {}
+ResultCache::ResultCache(std::string Dir)
+    : ResultCache(std::move(Dir), Limits()) {}
+
+ResultCache::ResultCache(std::string Dir, Limits Lim)
+    : Dir(std::move(Dir)), Lim(Lim) {}
+
+void ResultCache::insertMemLocked(const std::string &Hex,
+                                  const std::vector<RankedTerm> &Programs) {
+  auto It = Mem.find(Hex);
+  if (It != Mem.end()) {
+    It->second->second = Programs;
+    MemList.splice(MemList.begin(), MemList, It->second);
+    return;
+  }
+  MemList.emplace_front(Hex, Programs);
+  Mem[Hex] = MemList.begin();
+  while (Lim.MaxMemEntries != 0 && Mem.size() > Lim.MaxMemEntries) {
+    Mem.erase(MemList.back().first);
+    MemList.pop_back();
+    ++St.MemEvictions;
+  }
+}
 
 std::string ResultCache::pathFor(const CacheKey &Key) const {
   return Dir + "/" + Key.hex() + ".srres";
@@ -199,7 +222,8 @@ ResultCache::lookup(const CacheKey &Key) {
     auto It = Mem.find(Hex);
     if (It != Mem.end()) {
       ++St.Hits;
-      return It->second;
+      MemList.splice(MemList.begin(), MemList, It->second);
+      return It->second->second;
     }
     if (Dir.empty()) {
       ++St.Misses;
@@ -219,17 +243,25 @@ ResultCache::lookup(const CacheKey &Key) {
   }
   ++St.Hits;
   ++St.DiskHits;
-  Mem[Hex] = Programs;
+  insertMemLocked(Hex, Programs);
   return Programs;
 }
 
 void ResultCache::store(const CacheKey &Key,
                         const std::vector<RankedTerm> &Programs) {
   const std::string Hex = Key.hex();
+  bool Sweep = false;
   {
     std::lock_guard<std::mutex> Lock(M);
     ++St.Stores;
-    Mem[Hex] = Programs;
+    insertMemLocked(Hex, Programs);
+    // Budget enforcement is amortized: every 16th store sweeps, so a
+    // steady stream of stores keeps the directory near its budget
+    // without paying a directory scan per store.
+    if (!Dir.empty() && (Lim.MaxDiskBytes != 0 || Lim.MaxAgeSec != 0.0))
+      Sweep = ++StoresSinceSweep >= 16;
+    if (Sweep)
+      StoresSinceSweep = 0;
   }
   if (Dir.empty())
     return;
@@ -279,6 +311,74 @@ void ResultCache::store(const CacheKey &Key,
   // service on a flaky disk must not accumulate orphans.
   if (!Written || Ec)
     std::filesystem::remove(Tmp, Ec);
+  if (Sweep)
+    sweepDisk();
+}
+
+void ResultCache::sweepDisk() {
+  if (Dir.empty() || (Lim.MaxDiskBytes == 0 && Lim.MaxAgeSec == 0.0))
+    return;
+  namespace fs = std::filesystem;
+
+  struct DiskEntry {
+    fs::path Path;
+    fs::file_time_type Written;
+    uintmax_t Bytes = 0;
+    bool IsTmp = false;
+  };
+  std::vector<DiskEntry> Entries;
+  uintmax_t TotalBytes = 0;
+  std::error_code Ec;
+  for (fs::directory_iterator It(Dir, Ec), End; !Ec && It != End;
+       It.increment(Ec)) {
+    const fs::path P = It->path();
+    const std::string Name = P.filename().string();
+    DiskEntry E;
+    E.Path = P;
+    E.IsTmp = Name.find(".srres.tmp.") != std::string::npos;
+    if (!E.IsTmp && P.extension() != ".srres")
+      continue; // never touch files the cache did not write
+    std::error_code St1, St2;
+    E.Written = fs::last_write_time(P, St1);
+    E.Bytes = fs::file_size(P, St2);
+    if (St1 || St2)
+      continue; // raced a concurrent delete/rename; skip this file
+    if (!E.IsTmp)
+      TotalBytes += E.Bytes;
+    Entries.push_back(std::move(E));
+  }
+
+  const auto Now = fs::file_time_type::clock::now();
+  auto ageSec = [&](const DiskEntry &E) {
+    return std::chrono::duration<double>(Now - E.Written).count();
+  };
+  // Oldest first, so the byte budget trims in LRU-by-mtime order.
+  std::sort(Entries.begin(), Entries.end(),
+            [](const DiskEntry &A, const DiskEntry &B) {
+              return A.Written < B.Written;
+            });
+
+  size_t Removed = 0;
+  for (const DiskEntry &E : Entries) {
+    const bool Expired = Lim.MaxAgeSec != 0.0 && ageSec(E) > Lim.MaxAgeSec;
+    const bool OverBudget =
+        !E.IsTmp && Lim.MaxDiskBytes != 0 && TotalBytes > Lim.MaxDiskBytes;
+    // Tmp files are only ever age-swept: a fresh one may belong to a
+    // writer that is about to rename it into place.
+    if (!(Expired || OverBudget))
+      continue;
+    std::error_code Rm;
+    if (!fs::remove(E.Path, Rm) || Rm)
+      continue; // concurrent writer won the race; its entry is current
+    if (!E.IsTmp) {
+      TotalBytes -= E.Bytes;
+      ++Removed;
+    }
+  }
+  if (Removed != 0) {
+    std::lock_guard<std::mutex> Lock(M);
+    St.DiskEvictions += Removed;
+  }
 }
 
 ResultCache::Stats ResultCache::stats() const {

@@ -40,6 +40,7 @@
 #include "egraph/Rewrite.h"
 #include "synth/Synthesizer.h"
 
+#include <list>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -85,11 +86,38 @@ public:
     size_t DiskHits = 0; ///< subset of Hits answered by reading a file
     size_t Misses = 0;
     size_t Stores = 0;
+    size_t MemEvictions = 0;  ///< memory entries dropped by the LRU cap
+    size_t DiskEvictions = 0; ///< entry files deleted by the disk sweep
+  };
+
+  /// Retention budgets. Zero means unbounded — the cache then behaves
+  /// exactly as it did before budgets existed.
+  struct Limits {
+    /// Memory tier: max resident entries; least-recently-used beyond the
+    /// cap are dropped (their disk twin, if any, stays readable).
+    size_t MaxMemEntries = 0;
+    /// Disk tier: total `.srres` bytes the sweep trims towards,
+    /// oldest-first by modification time.
+    uintmax_t MaxDiskBytes = 0;
+    /// Disk tier: entries (and orphaned `.tmp.` files from crashed
+    /// writers) older than this many seconds are swept regardless of the
+    /// byte budget.
+    double MaxAgeSec = 0.0;
   };
 
   /// \p Dir empty = memory-only; otherwise entries also persist as
   /// `<Dir>/<key>.srres` files (the directory is created on first store).
+  /// (Two overloads, not one defaulted parameter: GCC rejects a `= {}`
+  /// default argument of a nested aggregate with member initializers.)
   explicit ResultCache(std::string Dir = std::string());
+  ResultCache(std::string Dir, Limits Lim);
+
+  /// Enforces the disk budgets now (store() calls this on an amortized
+  /// schedule; exposed so maintenance and tests can run it on demand).
+  /// Deletion races benignly with concurrent writers: rename-into-place
+  /// either lands before the sweep's directory scan (and is subject to
+  /// it) or recreates the entry after it — never a torn file either way.
+  void sweepDisk();
 
   /// The cached ranked programs for \p Key, or nullopt. A disk hit is
   /// promoted into memory; an unreadable or corrupt file is a miss.
@@ -103,12 +131,23 @@ public:
   const std::string &dir() const { return Dir; }
 
 private:
+  using MemEntry = std::pair<std::string, std::vector<RankedTerm>>;
+
   std::string Dir;
+  Limits Lim;
   mutable std::mutex M;
-  std::unordered_map<std::string, std::vector<RankedTerm>> Mem;
+  /// Memory tier: recency list (front = most recent) + key index into it.
+  std::list<MemEntry> MemList;
+  std::unordered_map<std::string, std::list<MemEntry>::iterator> Mem;
   Stats St;
+  size_t StoresSinceSweep = 0;
 
   std::string pathFor(const CacheKey &Key) const;
+
+  /// Inserts/refreshes \p Hex at the front of the recency list and
+  /// applies the memory cap. Caller holds M.
+  void insertMemLocked(const std::string &Hex,
+                       const std::vector<RankedTerm> &Programs);
 };
 
 } // namespace service

@@ -38,7 +38,7 @@ double secondsBetween(Clock::time_point A, Clock::time_point B) {
 } // namespace
 
 SynthesisService::SynthesisService(ServiceConfig Cfg)
-    : Cfg(Cfg), Cache(Cfg.CacheDir),
+    : Cfg(Cfg), Cache(Cfg.CacheDir, Cfg.CacheLimits),
       RulesFp(ruleDatabaseFingerprint(pipelineRules())) {
   size_t N = Cfg.NumWorkers;
   if (N == 0) {

@@ -57,6 +57,9 @@ struct ServiceConfig {
   std::string CacheDir;
   /// Master switch for the result cache (lookups and stores).
   bool EnableCache = true;
+  /// Result-cache retention budgets (ResultCache::Limits); all zero by
+  /// default, i.e. unbounded, matching the pre-budget behavior.
+  ResultCache::Limits CacheLimits;
   /// Override for each job's RunnerLimits::NumThreads. The default of 1
   /// keeps worker_count == thread_count (results are bit-identical at any
   /// setting, so this is purely a scheduling choice); 0 = leave the

@@ -118,8 +118,8 @@ SynthesisResult Synthesizer::synthesize(const TermPtr &FlatCsg) const {
       const auto ExtractStart = Clock::now();
       G.rebuild();
       if (!Extraction)
-        Extraction = std::make_unique<KBestExtractor>(G, costFn(Opts.Cost),
-                                                      Opts.TopK);
+        Extraction = std::make_unique<KBestExtractor>(
+            G, costFn(Opts.Cost), Opts.TopK, Opts.Limits.NumThreads);
       else
         Extraction->refresh();
       Result.Stats.ExtractSeconds +=
@@ -229,8 +229,8 @@ SynthesisResult Synthesizer::synthesize(const TermPtr &FlatCsg) const {
 
   const auto ExtractStart = Clock::now();
   if (!Extraction) // MainLoopIters == 0: extract the input graph as-is
-    Extraction =
-        std::make_unique<KBestExtractor>(G, costFn(Opts.Cost), Opts.TopK);
+    Extraction = std::make_unique<KBestExtractor>(
+        G, costFn(Opts.Cost), Opts.TopK, Opts.Limits.NumThreads);
   else if (Result.Stats.Cancelled)
     // A cancelled run broke out before the per-round refresh: re-sync so
     // the candidate table keys on the current canonical ids (a stale

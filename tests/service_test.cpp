@@ -359,3 +359,91 @@ TEST(ResultCacheTest, CorruptDiskEntriesDegradeToMisses) {
   Other.InputHash ^= 1;
   EXPECT_FALSE(Reader.lookup(Other).has_value());
 }
+
+namespace {
+
+/// N distinct cache keys (distinct input fingerprints, shared options).
+CacheKey numberedKey(uint64_t N) {
+  CacheKey Key = makeCacheKey(parseSexp("(Union Unit Sphere)").Value, 7,
+                              SynthesisOptions());
+  Key.InputHash = N;
+  return Key;
+}
+
+std::vector<RankedTerm> oneProgram() {
+  return {{parseSexp("Unit").Value, 1.0}};
+}
+
+} // namespace
+
+TEST(ResultCacheTest, MemoryLruCapEvictsLeastRecentlyUsed) {
+  ResultCache C("", ResultCache::Limits{/*MaxMemEntries=*/2, 0, 0.0});
+  C.store(numberedKey(1), oneProgram());
+  C.store(numberedKey(2), oneProgram());
+  ASSERT_TRUE(C.lookup(numberedKey(1)).has_value()); // 1 becomes MRU
+  C.store(numberedKey(3), oneProgram());             // evicts 2, not 1
+  EXPECT_EQ(C.stats().MemEvictions, 1u);
+  EXPECT_TRUE(C.lookup(numberedKey(1)).has_value());
+  EXPECT_FALSE(C.lookup(numberedKey(2)).has_value());
+  EXPECT_TRUE(C.lookup(numberedKey(3)).has_value());
+
+  // Re-storing a resident key refreshes it in place: no eviction.
+  C.store(numberedKey(3), oneProgram());
+  EXPECT_EQ(C.stats().MemEvictions, 1u);
+}
+
+TEST(ResultCacheTest, DiskSweepTrimsOldestTowardsByteBudget) {
+  const std::string Dir = tempDir("srcache_sweep_bytes");
+  // Budget of one entry's worth: each file is ~90 bytes, so 128 bytes
+  // forces every sweep to keep only the newest file.
+  ResultCache C(Dir, ResultCache::Limits{0, /*MaxDiskBytes=*/128, 0.0});
+  namespace fs = std::filesystem;
+  const auto Now = fs::file_time_type::clock::now();
+  for (uint64_t I = 1; I <= 3; ++I) {
+    C.store(numberedKey(I), oneProgram());
+    // Sub-second mtime granularity is not guaranteed everywhere; stamp
+    // strictly increasing ages so "oldest-first" is well defined.
+    fs::last_write_time(Dir + "/" + numberedKey(I).hex() + ".srres",
+                        Now - std::chrono::seconds(10 - I));
+  }
+  C.sweepDisk();
+  EXPECT_GE(C.stats().DiskEvictions, 2u);
+  EXPECT_FALSE(fs::exists(Dir + "/" + numberedKey(1).hex() + ".srres"));
+  EXPECT_FALSE(fs::exists(Dir + "/" + numberedKey(2).hex() + ".srres"));
+  EXPECT_TRUE(fs::exists(Dir + "/" + numberedKey(3).hex() + ".srres"));
+
+  // The memory tier is unaffected: evicted disk entries still hit.
+  EXPECT_TRUE(C.lookup(numberedKey(1)).has_value());
+  // ...but a fresh instance (cold memory) now misses them.
+  ResultCache Reader(Dir);
+  EXPECT_FALSE(Reader.lookup(numberedKey(1)).has_value());
+  EXPECT_TRUE(Reader.lookup(numberedKey(3)).has_value());
+}
+
+TEST(ResultCacheTest, DiskSweepExpiresByAgeAndReapsTmpOrphans) {
+  const std::string Dir = tempDir("srcache_sweep_age");
+  ResultCache C(Dir, ResultCache::Limits{0, 0, /*MaxAgeSec=*/3600.0});
+  namespace fs = std::filesystem;
+  C.store(numberedKey(1), oneProgram());
+  C.store(numberedKey(2), oneProgram());
+  const std::string Old = Dir + "/" + numberedKey(1).hex() + ".srres";
+  fs::last_write_time(Old,
+                      fs::file_time_type::clock::now() -
+                          std::chrono::seconds(7200));
+  // An orphaned tmp from a crashed writer, past the age limit — reaped;
+  // a fresh tmp (a writer mid-store) must survive the sweep.
+  const std::string OldTmp = Dir + "/x.srres.tmp.1.2";
+  const std::string FreshTmp = Dir + "/y.srres.tmp.3.4";
+  std::ofstream(OldTmp) << "partial";
+  std::ofstream(FreshTmp) << "partial";
+  fs::last_write_time(OldTmp,
+                      fs::file_time_type::clock::now() -
+                          std::chrono::seconds(7200));
+  C.sweepDisk();
+  EXPECT_EQ(C.stats().DiskEvictions, 1u); // tmp reaps are not entry evictions
+  EXPECT_FALSE(fs::exists(Old));
+  EXPECT_FALSE(fs::exists(OldTmp));
+  EXPECT_TRUE(fs::exists(FreshTmp));
+  EXPECT_TRUE(
+      fs::exists(Dir + "/" + numberedKey(2).hex() + ".srres"));
+}

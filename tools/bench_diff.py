@@ -50,8 +50,12 @@ IDENTITY_FIELDS = ("family", "n", "model", "kind", "iter", "rule")
 # Measurement fields gated per row (when present in both baseline and
 # current, and above the min-time floor). time_sec is the end-to-end row
 # time; rewrite_sec isolates the saturation phase so a rewrite-engine
-# regression on a tail model cannot hide behind an extraction win.
-GATED_FIELDS = ("time_sec", "rewrite_sec")
+# regression on a tail model cannot hide behind an extraction win;
+# extract_sec and rewrite_apply_sec gate the two phases the multicore
+# pipeline parallelizes (wave-scheduled k-best refresh, conflict-
+# partitioned apply), so losing the parallel speedup is itself a
+# regression even when the row total stays within its threshold.
+GATED_FIELDS = ("time_sec", "rewrite_sec", "extract_sec", "rewrite_apply_sec")
 
 
 def row_key(row):

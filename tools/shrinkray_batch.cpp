@@ -53,6 +53,7 @@ struct BatchOptions {
   size_t Workers = 4;
   std::string CacheDir;
   bool NoCache = false;
+  ResultCache::Limits CacheLimits;
   double DeadlineSec = 0.0;
   std::string OutDir;
   SynthesisOptions Synth;
@@ -68,6 +69,9 @@ void usage(const char *Argv0) {
       "  -j N               worker threads (default 4)\n"
       "  -cache DIR         persistent result-cache directory\n"
       "  -no-cache          disable the result cache\n"
+      "  -cache-mem N       keep at most N results in memory (LRU)\n"
+      "  -cache-disk-mb N   sweep the cache dir towards N MiB\n"
+      "  -cache-age S       sweep cache entries older than S seconds\n"
       "  -deadline S        per-job budget in seconds\n"
       "  -k N               top-k programs (default 5)\n"
       "  -cost size|loops   extraction cost (default size)\n"
@@ -96,6 +100,22 @@ bool parseArgs(int Argc, char **Argv, BatchOptions &Opts) {
       Opts.CacheDir = V;
     } else if (Arg == "-no-cache") {
       Opts.NoCache = true;
+    } else if (Arg == "-cache-mem") {
+      const char *V = next();
+      if (!V || std::atoi(V) < 1)
+        return false;
+      Opts.CacheLimits.MaxMemEntries = static_cast<size_t>(std::atoi(V));
+    } else if (Arg == "-cache-disk-mb") {
+      const char *V = next();
+      if (!V || std::atoi(V) < 1)
+        return false;
+      Opts.CacheLimits.MaxDiskBytes =
+          static_cast<uintmax_t>(std::atoi(V)) * 1024 * 1024;
+    } else if (Arg == "-cache-age") {
+      const char *V = next();
+      if (!V || std::atof(V) <= 0)
+        return false;
+      Opts.CacheLimits.MaxAgeSec = std::atof(V);
     } else if (Arg == "-deadline") {
       const char *V = next();
       if (!V || std::atof(V) <= 0)
@@ -248,6 +268,7 @@ int main(int Argc, char **Argv) {
   Cfg.NumWorkers = Opts.Workers;
   Cfg.CacheDir = Opts.CacheDir;
   Cfg.EnableCache = !Opts.NoCache;
+  Cfg.CacheLimits = Opts.CacheLimits;
   SynthesisService Service(Cfg);
 
   const auto Start = std::chrono::steady_clock::now();
@@ -320,7 +341,10 @@ int main(int Argc, char **Argv) {
               WallSec > 0 ? static_cast<double>(Ids.size()) / WallSec : 0.0,
               Ids.size() - Failed - Cancelled - Hits, Hits, Cancelled,
               Failed);
-  std::printf("cache: %zu hits (%zu from disk), %zu misses, %zu stores\n",
-              CS.Hits, CS.DiskHits, CS.Misses, CS.Stores);
+  std::printf("cache: %zu hits (%zu from disk), %zu misses, %zu stores, "
+              "%zu evicted (%zu mem, %zu disk)\n",
+              CS.Hits, CS.DiskHits, CS.Misses, CS.Stores,
+              CS.MemEvictions + CS.DiskEvictions, CS.MemEvictions,
+              CS.DiskEvictions);
   return Failed == 0 ? 0 : 1;
 }
