@@ -574,33 +574,31 @@ std::string EGraph::checkInvariants() const {
     }
   }
 
-  // 2. Every child class records the parent relationship.
-  for (EClassId Id : classIds()) {
-    for (const ENode &N : eclass(Id).Nodes) {
-      ENode Canon = canonicalize(N);
-      for (EClassId Kid : Canon.Children) {
-        bool Found = false;
-        for (const auto &[PNode, PClass] : eclass(Kid).Parents)
-          if (canonicalize(PNode) == Canon && UF.find(PClass) == Id) {
-            Found = true;
-            break;
-          }
-        if (!Found) {
-          Os << "class " << UF.find(Kid)
-             << " missing parent entry for a node of class " << Id;
-          return Os.str();
-        }
-      }
+  // 2 + 3. Parent links, both directions. One pass over the stored parent
+  // entries canonicalizes each entry once, validates its truthfulness
+  // (check 3: its canonical form is a live e-node of the recorded parent
+  // class that still references the child it is stored under — entries
+  // may be stale forms, but canonicalization must repair them; this is
+  // what canonicalParents() and the extraction engine's cost propagation
+  // rely on), and indexes it per child class. Check 2 — every child of
+  // every node has a matching parent entry — is then a hash lookup per
+  // edge. (The naive form rescanned the child's whole parent list per
+  // edge, which is quadratic on parent-heavy classes: a restored
+  // nintendo-slot graph spent ~18 seconds here.)
+  struct ParentKey {
+    ENode N;
+    EClassId C;
+    bool operator==(const ParentKey &O) const { return C == O.C && N == O.N; }
+  };
+  struct ParentKeyHash {
+    size_t operator()(const ParentKey &K) const {
+      return ENodeHash()(K.N) * size_t(1000003) + K.C;
     }
-  }
-
-  // 3. Every stored parent entry is truthful: its canonical form is a live
-  //    e-node of the recorded (canonical) parent class, and that node still
-  //    references the child class the entry is stored under. Entries may be
-  //    stale forms, but canonicalization must repair them — this is what
-  //    canonicalParents() and the extraction engine's cost propagation rely
-  //    on.
+  };
+  std::vector<std::unordered_set<ParentKey, ParentKeyHash>> ParentIndex(
+      Classes.size());
   for (EClassId Id : classIds()) {
+    ParentIndex[Id].reserve(eclass(Id).Parents.size());
     for (const auto &[PNode, PClass] : eclass(Id).Parents) {
       ENode Canon = canonicalize(PNode);
       auto MemoIt = Memo.find(Canon);
@@ -619,6 +617,19 @@ std::string EGraph::checkInvariants() const {
         Os << "class " << Id << " holds a parent entry for a node of class "
            << UF.find(PClass) << " that no longer references it";
         return Os.str();
+      }
+      ParentIndex[Id].insert({std::move(Canon), UF.find(PClass)});
+    }
+  }
+  for (EClassId Id : classIds()) {
+    for (const ENode &N : eclass(Id).Nodes) {
+      ENode Canon = canonicalize(N);
+      for (EClassId Kid : Canon.Children) {
+        if (ParentIndex[Kid].find({Canon, Id}) == ParentIndex[Kid].end()) {
+          Os << "class " << Kid
+             << " missing parent entry for a node of class " << Id;
+          return Os.str();
+        }
       }
     }
   }

@@ -154,6 +154,11 @@ public:
   /// add/merge/rebuild rather than rescanned.
   size_t numNodes() const { return LiveNodes; }
 
+  /// Size of the id space (live classes plus superseded ids still routed
+  /// through the union-find). Any id below this bound is safe to pass to
+  /// find(); snapshot-adjacent decoders use it to validate stored ids.
+  size_t numIds() const { return Classes.size(); }
+
   /// Canonical classes containing at least one e-node whose head operator
   /// is \p O, in increasing id order (deterministic). The returned
   /// reference is valid until the next graph mutation. Amortized cheap:

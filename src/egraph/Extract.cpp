@@ -11,6 +11,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "egraph/Extract.h"
+#include "egraph/SnapshotCodec.h"
 
 #include <cassert>
 #include <queue>
@@ -385,6 +386,85 @@ TermPtr Extractor::build(EClassId Id) const {
 }
 
 //===----------------------------------------------------------------------===//
+// One-best extraction: state save/restore (snapshot tier)
+//===----------------------------------------------------------------------===//
+
+Extractor::Extractor(RestoreTag, const EGraph &G, const CostFn &Fn)
+    : G(G), Fn(Fn) {
+  // Empty engine: no derivation. The lease is taken at the current
+  // generation so the dirty-log suffix restoreState() will validate
+  // against cannot be compacted away between construction and restore.
+  SyncedGen = G.generation();
+  DirtyLease = G.acquireDirtyLease(SyncedGen);
+}
+
+std::string Extractor::saveState() const {
+  snapcodec::Writer W;
+  W.u64(SyncedGen);
+  // Rows in ascending class-id order: the maps iterate in hash order, and
+  // the blob must be a pure function of the logical state.
+  std::vector<EClassId> Ids;
+  Ids.reserve(Costs.size());
+  for (const auto &[Id, C] : Costs) {
+    (void)C;
+    Ids.push_back(Id);
+  }
+  std::sort(Ids.begin(), Ids.end());
+  W.u32(static_cast<uint32_t>(Ids.size()));
+  for (EClassId Id : Ids) {
+    W.u32(Id);
+    W.f64(Costs.at(Id));
+    W.node(Choices.at(Id));
+  }
+  return W.take();
+}
+
+std::string Extractor::restoreState(std::string_view Bytes) {
+  snapcodec::Reader R{std::string(Bytes)};
+  std::string Err;
+  const uint64_t Gen = R.u64();
+  if (!R.ok())
+    return "truncated extraction state";
+  // The blob only makes sense on the graph it was saved against, at the
+  // exact generation it was saved at (the caller restores the graph
+  // snapshot first, then this).
+  if (Gen != G.generation())
+    return "extraction state generation mismatch";
+  const uint32_t NumRows = R.u32();
+  // Minimum row: u32 id + f64 cost + 5-byte node.
+  if (!R.ok() || !R.fits(NumRows, 17))
+    return "truncated extraction state";
+  const uint32_t NumIds = static_cast<uint32_t>(G.numIds());
+  Costs.clear();
+  Choices.clear();
+  uint32_t PrevId = 0;
+  for (uint32_t I = 0; I < NumRows; ++I) {
+    const uint32_t Id = R.u32();
+    if (!R.ok() || Id >= NumIds)
+      return "extraction state class id out of range";
+    if (I != 0 && Id <= PrevId)
+      return "extraction state rows not strictly ascending";
+    PrevId = Id;
+    if (G.find(Id) != Id)
+      return "extraction state row keyed by a non-canonical class";
+    const double Cost = R.f64();
+    if (!R.ok() || std::isnan(Cost))
+      return "invalid extraction cost";
+    std::optional<ENode> Choice = R.node(NumIds, Err);
+    if (!Choice)
+      return Err.empty() ? "truncated extraction choice" : Err;
+    Costs.emplace(Id, Cost);
+    Choices.emplace(Id, std::move(*Choice));
+  }
+  if (!R.ok() || !R.atEnd())
+    return "trailing bytes after extraction state";
+  SyncedGen = Gen;
+  G.updateDirtyLease(DirtyLease, SyncedGen);
+  BuildMemo.clear();
+  return "";
+}
+
+//===----------------------------------------------------------------------===//
 // One-best extraction: fixed-point oracle
 //===----------------------------------------------------------------------===//
 
@@ -641,6 +721,204 @@ std::vector<RankedTerm> KBestExtractor::extract(EClassId Id) const {
   for (const ExtractCandidate &C : It->second)
     Out.push_back({C.T, C.Cost});
   return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Top-k extraction: state save/restore (snapshot tier)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr uint32_t KBestFormatVersion = 1;
+
+/// Emits \p Root into the shared structure pool (children before parents,
+/// each distinct Term object once) and returns its pool index. Iterative:
+/// candidate terms are routinely deeper than any safe recursion budget.
+uint32_t poolEmit(const TermPtr &Root,
+                  std::unordered_map<const Term *, uint32_t> &PoolIdx,
+                  snapcodec::Writer &W) {
+  auto Hit = PoolIdx.find(Root.get());
+  if (Hit != PoolIdx.end())
+    return Hit->second;
+  std::vector<std::pair<const Term *, size_t>> Stack;
+  Stack.emplace_back(Root.get(), 0);
+  while (!Stack.empty()) {
+    auto &[T, NextKid] = Stack.back();
+    if (PoolIdx.count(T)) {
+      Stack.pop_back();
+      continue;
+    }
+    if (NextKid < T->numChildren()) {
+      const Term *Kid = T->child(NextKid).get();
+      ++NextKid;
+      if (!PoolIdx.count(Kid))
+        Stack.emplace_back(Kid, 0);
+      continue;
+    }
+    W.op(T->op());
+    W.u32(static_cast<uint32_t>(T->numChildren()));
+    for (size_t I = 0; I < T->numChildren(); ++I)
+      W.u32(PoolIdx.at(T->child(I).get()));
+    PoolIdx.emplace(T, static_cast<uint32_t>(PoolIdx.size()));
+    Stack.pop_back();
+  }
+  return PoolIdx.at(Root.get());
+}
+
+} // namespace
+
+std::string KBestExtractor::saveState() const {
+  snapcodec::Writer W;
+  W.u32(KBestFormatVersion);
+  W.u64(K);
+  W.str(OneBest.saveState());
+  W.u64(SyncedGen);
+
+  // Candidate rows in ascending class-id order (the table iterates in
+  // hash order; the blob must be canonical). Empty rows are dropped: a
+  // missing row and an empty row are indistinguishable through candList.
+  std::vector<EClassId> Ids;
+  Ids.reserve(Table.size());
+  for (const auto &[Id, Cands] : Table)
+    if (!Cands.empty())
+      Ids.push_back(Id);
+  std::sort(Ids.begin(), Ids.end());
+
+  // Structure pool: every candidate term emitted once, shared subterms
+  // shared in the encoding too (candidates are built from their
+  // children's candidate TermPtrs, so sharing is pervasive). The pool is
+  // written to a side buffer first — pool size precedes pool bytes.
+  snapcodec::Writer PoolW;
+  std::unordered_map<const Term *, uint32_t> PoolIdx;
+  std::vector<std::vector<uint32_t>> RowRefs(Ids.size());
+  for (size_t I = 0; I < Ids.size(); ++I)
+    for (const ExtractCandidate &C : Table.at(Ids[I]))
+      RowRefs[I].push_back(poolEmit(C.T, PoolIdx, PoolW));
+
+  W.u32(static_cast<uint32_t>(PoolIdx.size()));
+  W.str(PoolW.bytes());
+  W.u32(static_cast<uint32_t>(Ids.size()));
+  for (size_t I = 0; I < Ids.size(); ++I) {
+    const std::vector<ExtractCandidate> &Cands = Table.at(Ids[I]);
+    W.u32(Ids[I]);
+    W.u32(static_cast<uint32_t>(Cands.size()));
+    for (size_t C = 0; C < Cands.size(); ++C) {
+      W.f64(Cands[C].Cost);
+      W.u32(RowRefs[I][C]);
+    }
+  }
+  return W.take();
+}
+
+KBestExtractor::KBestExtractor(Extractor::RestoreTag Tag, const EGraph &G,
+                               const CostFn &Fn, size_t K, size_t NumThreads)
+    : G(G), Fn(Fn), K(K), Threads(resolveThreads(NumThreads)),
+      OneBest(Tag, G, Fn) {
+  SyncedGen = G.generation();
+  DirtyLease = G.acquireDirtyLease(SyncedGen);
+}
+
+std::unique_ptr<KBestExtractor>
+KBestExtractor::restore(const EGraph &G, const CostFn &Fn, size_t K,
+                        size_t NumThreads, std::string_view Bytes,
+                        std::string &Err) {
+  assert(K >= 1 && "k must be positive");
+  std::unique_ptr<KBestExtractor> E(
+      new KBestExtractor(Extractor::RestoreTag{}, G, Fn, K, NumThreads));
+  Err = E->restoreState(Bytes);
+  if (!Err.empty())
+    return nullptr;
+  return E;
+}
+
+std::string KBestExtractor::restoreState(std::string_view Bytes) {
+  snapcodec::Reader R{std::string(Bytes)};
+  std::string Err;
+  if (R.u32() != KBestFormatVersion || !R.ok())
+    return "unsupported k-best state format version";
+  if (R.u64() != K || !R.ok())
+    return "k-best state saved with a different k";
+  if (std::string E = OneBest.restoreState(R.str()); !E.empty())
+    return E;
+  const uint64_t Gen = R.u64();
+  if (!R.ok())
+    return "truncated k-best state";
+  if (Gen != G.generation())
+    return "k-best state generation mismatch";
+
+  // Structure pool: rebuild terms children-first. Child references must
+  // point strictly backwards, which both guarantees acyclicity and lets
+  // one forward pass materialize every term.
+  const uint32_t NumPool = R.u32();
+  std::string PoolBytes = R.str();
+  if (!R.ok())
+    return "truncated k-best pool";
+  snapcodec::Reader PR{std::move(PoolBytes)};
+  std::vector<TermPtr> Pool;
+  std::vector<size_t> PoolHash;
+  Pool.reserve(NumPool);
+  PoolHash.reserve(NumPool);
+  std::vector<size_t> KidHashes;
+  for (uint32_t I = 0; I < NumPool; ++I) {
+    std::optional<Op> O = PR.op(Err);
+    if (!O)
+      return Err.empty() ? "truncated k-best pool" : Err;
+    const uint32_t Arity = PR.u32();
+    const int Fixed = opArity(O->kind());
+    if (!PR.ok() || (Fixed >= 0 && static_cast<uint32_t>(Fixed) != Arity) ||
+        !PR.fits(Arity, 4))
+      return "k-best pool arity out of range";
+    std::vector<TermPtr> Kids;
+    Kids.reserve(Arity);
+    KidHashes.clear();
+    for (uint32_t A = 0; A < Arity; ++A) {
+      const uint32_t Kid = PR.u32();
+      if (!PR.ok() || Kid >= I)
+        return "k-best pool child reference out of range";
+      Kids.push_back(Pool[Kid]);
+      KidHashes.push_back(PoolHash[Kid]);
+    }
+    PoolHash.push_back(termValueHashNode(*O, KidHashes));
+    Pool.push_back(makeTerm(std::move(*O), std::move(Kids)));
+  }
+  if (!PR.atEnd())
+    return "trailing bytes after k-best pool";
+
+  const uint32_t NumRows = R.u32();
+  // Minimum row: u32 id + u32 count + one (f64, u32) candidate.
+  if (!R.ok() || !R.fits(NumRows, 20))
+    return "truncated k-best table";
+  const uint32_t NumIds = static_cast<uint32_t>(G.numIds());
+  Table.clear();
+  uint32_t PrevId = 0;
+  for (uint32_t I = 0; I < NumRows; ++I) {
+    const uint32_t Id = R.u32();
+    if (!R.ok() || Id >= NumIds)
+      return "k-best row class id out of range";
+    if (I != 0 && Id <= PrevId)
+      return "k-best rows not strictly ascending";
+    PrevId = Id;
+    if (G.find(Id) != Id)
+      return "k-best row keyed by a non-canonical class";
+    const uint32_t NumCands = R.u32();
+    if (!R.ok() || NumCands == 0 || NumCands > K || !R.fits(NumCands, 12))
+      return "k-best candidate count out of range";
+    std::vector<ExtractCandidate> Cands;
+    Cands.reserve(NumCands);
+    for (uint32_t C = 0; C < NumCands; ++C) {
+      const double Cost = R.f64();
+      const uint32_t Ref = R.u32();
+      if (!R.ok() || std::isnan(Cost) || Ref >= Pool.size())
+        return "invalid k-best candidate";
+      Cands.push_back({Cost, Pool[Ref], PoolHash[Ref]});
+    }
+    Table.emplace(Id, std::move(Cands));
+  }
+  if (!R.ok() || !R.atEnd())
+    return "trailing bytes after k-best state";
+  SyncedGen = Gen;
+  G.updateDirtyLease(DirtyLease, SyncedGen);
+  return "";
 }
 
 //===----------------------------------------------------------------------===//

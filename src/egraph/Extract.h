@@ -94,6 +94,26 @@ class Extractor {
 public:
   Extractor(const EGraph &G, const CostFn &Fn);
 
+  /// Restore-construction for the snapshot tier: binds an *empty* engine
+  /// to \p G without running a derivation. The engine is unusable until a
+  /// successful restoreState(); on restore failure it must be discarded.
+  struct RestoreTag {};
+  Extractor(RestoreTag, const EGraph &G, const CostFn &Fn);
+
+  /// Serializes the derived state (synced generation, per-class costs and
+  /// choice e-nodes) for the service snapshot tier. The blob is only
+  /// meaningful alongside the e-graph snapshot serialized at the same
+  /// generation — restoreState() enforces the pairing.
+  std::string saveState() const;
+
+  /// Loads state saved by saveState() into a RestoreTag-constructed
+  /// engine. Returns "" on success, a diagnostic otherwise (wrong
+  /// generation, malformed bytes, ids outside the bound graph) — never
+  /// asserts, so corrupt snapshot-tier blobs degrade to cache misses.
+  /// After success the engine behaves exactly like the one that was
+  /// saved: refresh() resumes incrementally from the stored generation.
+  std::string restoreState(std::string_view Bytes);
+
   /// Releases the engine's dirty-log lease (see below). The engine must
   /// not outlive the graph.
   ~Extractor();
@@ -211,6 +231,22 @@ public:
   KBestExtractor(const EGraph &G, const CostFn &Fn, size_t K,
                  size_t NumThreads = 1);
 
+  /// Serializes the engine (one-best section plus the candidate table,
+  /// terms encoded once through a shared structure pool) for the service
+  /// snapshot tier. Restoring on the graph snapshot serialized at the
+  /// same generation reproduces the engine bit-for-bit — including
+  /// refresh() behavior, which is what lets a warm start refresh
+  /// incrementally instead of re-deriving the whole table.
+  std::string saveState() const;
+
+  /// Rebuilds an engine from saveState() bytes. \p K and \p NumThreads
+  /// must match the request (the stored K is validated; thread count is
+  /// free — the table is thread-invariant). Returns nullptr and sets
+  /// \p Err on any validation failure.
+  static std::unique_ptr<KBestExtractor>
+  restore(const EGraph &G, const CostFn &Fn, size_t K, size_t NumThreads,
+          std::string_view Bytes, std::string &Err);
+
   /// Releases the engine's dirty-log lease; see Extractor.
   ~KBestExtractor();
 
@@ -241,6 +277,10 @@ private:
   /// Created lazily by the first wave large enough to dispatch; graphs
   /// that never produce such a wave never start a thread.
   std::unique_ptr<WorkerPool> Pool;
+
+  KBestExtractor(Extractor::RestoreTag, const EGraph &G, const CostFn &Fn,
+                 size_t K, size_t NumThreads);
+  std::string restoreState(std::string_view Bytes);
 
   void deriveFrom(const std::vector<EClassId> &Seeds);
 };

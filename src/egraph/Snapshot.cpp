@@ -42,7 +42,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "egraph/EGraph.h"
-#include "support/Hashing.h"
+#include "egraph/SnapshotCodec.h"
 
 #include <algorithm>
 #include <cmath>
@@ -54,202 +54,21 @@ using namespace shrinkray;
 
 namespace {
 
-constexpr char SnapshotMagic[8] = {'S', 'R', 'A', 'Y', 'E', 'G', 'R', '1'};
+using snapcodec::Reader;
+using snapcodec::Writer;
+using snapcodec::fnv1a;
 
-uint64_t fnv1a(const std::string &Bytes) {
-  return Fnv1a().bytes(Bytes.data(), Bytes.size()).hash();
-}
-
-/// Append-only little-endian payload writer.
-class Writer {
-public:
-  void u8(uint8_t V) { Buf.push_back(static_cast<char>(V)); }
-  void u32(uint32_t V) { raw(&V, sizeof V); }
-  void u64(uint64_t V) { raw(&V, sizeof V); }
-  void f64(double V) {
-    uint64_t Bits;
-    std::memcpy(&Bits, &V, sizeof Bits);
-    u64(Bits);
-  }
-  void str(std::string_view S) {
-    u32(static_cast<uint32_t>(S.size()));
-    Buf.append(S.data(), S.size());
-  }
-
-  void op(const Op &O) {
-    u8(static_cast<uint8_t>(O.kind()));
-    switch (O.kind()) {
-    case OpKind::Int:
-      u64(static_cast<uint64_t>(O.intValue()));
-      break;
-    case OpKind::Float:
-      f64(O.floatValue());
-      break;
-    case OpKind::OpRef:
-      u8(static_cast<uint8_t>(O.referencedOp()));
-      break;
-    case OpKind::Var:
-    case OpKind::External:
-    case OpKind::PatVar:
-      str(O.symbol().str());
-      break;
-    default:
-      break; // payload-free
-    }
-  }
-
-  void node(const ENode &N) {
-    op(N.Operator);
-    u32(static_cast<uint32_t>(N.Children.size()));
-    for (EClassId Kid : N.Children)
-      u32(Kid);
-  }
-
-  const std::string &bytes() const { return Buf; }
-
-private:
-  void raw(const void *P, size_t N) {
-    Buf.append(static_cast<const char *>(P), N);
-  }
-  std::string Buf;
-};
-
-/// Bounds-checked payload reader. Every getter reports failure through
-/// ok(); callers bail out once at convenient points (reads after a
-/// failure return zeros and never run past the buffer).
-class Reader {
-public:
-  explicit Reader(std::string Bytes) : Buf(std::move(Bytes)) {}
-
-  bool ok() const { return Ok; }
-  bool atEnd() const { return Pos == Buf.size(); }
-  size_t remaining() const { return Buf.size() - Pos; }
-
-  /// True when \p Count elements of at least \p MinBytes each could
-  /// still fit in the unread payload. Every count field is checked this
-  /// way *before* sizing a container from it, so a corrupt-but-
-  /// checksummed count degrades to a diagnostic instead of a wild
-  /// allocation (std::bad_alloc would escape deserialize()).
-  bool fits(uint64_t Count, uint64_t MinBytes) const {
-    return Count <= remaining() / MinBytes;
-  }
-
-  uint8_t u8() {
-    uint8_t V = 0;
-    raw(&V, sizeof V);
-    return V;
-  }
-  uint32_t u32() {
-    uint32_t V = 0;
-    raw(&V, sizeof V);
-    return V;
-  }
-  uint64_t u64() {
-    uint64_t V = 0;
-    raw(&V, sizeof V);
-    return V;
-  }
-  double f64() {
-    uint64_t Bits = u64();
-    double V = 0;
-    std::memcpy(&V, &Bits, sizeof V);
-    return V;
-  }
-  std::string str() {
-    uint32_t N = u32();
-    if (!Ok || Buf.size() - Pos < N) {
-      Ok = false;
-      return {};
-    }
-    std::string S = Buf.substr(Pos, N);
-    Pos += N;
-    return S;
-  }
-
-  /// Decodes an Op; sets \p Err (and fails the reader) on an invalid
-  /// kind/payload instead of tripping Op's constructor asserts.
-  std::optional<Op> op(std::string &Err) {
-    uint8_t KindByte = u8();
-    if (!Ok || KindByte >= NumOpKinds) {
-      Err = "invalid operator kind";
-      Ok = false;
-      return std::nullopt;
-    }
-    OpKind K = static_cast<OpKind>(KindByte);
-    switch (K) {
-    case OpKind::Int:
-      return Op::makeInt(static_cast<int64_t>(u64()));
-    case OpKind::Float: {
-      double V = f64();
-      if (std::isnan(V)) {
-        Err = "NaN float literal";
-        Ok = false;
-        return std::nullopt;
-      }
-      return Op::makeFloat(V);
-    }
-    case OpKind::OpRef: {
-      uint8_t Ref = u8();
-      if (!Ok || Ref >= NumOpKinds || !isBoolOp(static_cast<OpKind>(Ref))) {
-        Err = "OpRef to a non-boolean operator";
-        Ok = false;
-        return std::nullopt;
-      }
-      return Op::makeOpRef(static_cast<OpKind>(Ref));
-    }
-    case OpKind::Var:
-      return Op::makeVar(Symbol(str()));
-    case OpKind::External:
-      return Op::makeExternal(Symbol(str()));
-    case OpKind::PatVar:
-      return Op::makePatVar(Symbol(str()));
-    default:
-      return Op(K);
-    }
-  }
-
-  /// Decodes an ENode; validates arity against the operator and child ids
-  /// against \p NumIds.
-  std::optional<ENode> node(uint32_t NumIds, std::string &Err) {
-    std::optional<Op> O = op(Err);
-    if (!O)
-      return std::nullopt;
-    uint32_t Arity = u32();
-    int Fixed = opArity(O->kind());
-    if (!Ok || (Fixed >= 0 && static_cast<uint32_t>(Fixed) != Arity) ||
-        Arity > NumIds) {
-      Err = "e-node arity out of range";
-      Ok = false;
-      return std::nullopt;
-    }
-    std::vector<EClassId> Kids;
-    Kids.reserve(Arity);
-    for (uint32_t I = 0; I < Arity; ++I) {
-      uint32_t Kid = u32();
-      if (!Ok || Kid >= NumIds) {
-        Err = "e-node child id out of range";
-        Ok = false;
-        return std::nullopt;
-      }
-      Kids.push_back(Kid);
-    }
-    return ENode(std::move(*O), std::move(Kids));
-  }
-
-private:
-  void raw(void *P, size_t N) {
-    if (!Ok || Buf.size() - Pos < N) {
-      Ok = false;
-      return;
-    }
-    std::memcpy(P, Buf.data() + Pos, N);
-    Pos += N;
-  }
-
-  std::string Buf;
-  size_t Pos = 0;
-  bool Ok = true;
-};
+/// Header: a 7-byte format prefix followed by one format-version byte.
+/// Bumping the version is how incompatible payload changes are shipped:
+/// deserialize() rejects any other version with a distinct diagnostic, so
+/// stale snapshot-tier blobs written by an older build degrade to clean
+/// cache misses instead of misparses. Version history:
+///   '1'  PR 5 original payload
+///   '2'  identical payload; bumped with the warm-start tier so resume
+///        consumers can trust that cursor/extraction blobs paired with the
+///        graph were produced by a resume-aware writer
+constexpr char SnapshotMagicPrefix[7] = {'S', 'R', 'A', 'Y', 'E', 'G', 'R'};
+constexpr char SnapshotVersion = '2';
 
 } // namespace
 
@@ -292,7 +111,8 @@ void EGraph::serialize(std::ostream &Os) const {
   const std::string &Payload = W.bytes();
   uint64_t Size = Payload.size();
   uint64_t Hash = fnv1a(Payload);
-  Os.write(SnapshotMagic, sizeof SnapshotMagic);
+  Os.write(SnapshotMagicPrefix, sizeof SnapshotMagicPrefix);
+  Os.write(&SnapshotVersion, 1);
   Os.write(reinterpret_cast<const char *>(&Size), sizeof Size);
   Os.write(reinterpret_cast<const char *>(&Hash), sizeof Hash);
   Os.write(Payload.data(), static_cast<std::streamsize>(Payload.size()));
@@ -303,10 +123,12 @@ std::string EGraph::deserialize(std::istream &Is) {
     return "deserialize target must be a fresh e-graph";
 
   // --- Header: magic, length, checksum --------------------------------
-  char Magic[sizeof SnapshotMagic];
+  char Magic[sizeof SnapshotMagicPrefix + 1];
   if (!Is.read(Magic, sizeof Magic) ||
-      std::memcmp(Magic, SnapshotMagic, sizeof Magic) != 0)
+      std::memcmp(Magic, SnapshotMagicPrefix, sizeof SnapshotMagicPrefix) != 0)
     return "not an e-graph snapshot (bad magic)";
+  if (Magic[sizeof SnapshotMagicPrefix] != SnapshotVersion)
+    return "unsupported e-graph snapshot format version";
   uint64_t Size = 0, Hash = 0;
   if (!Is.read(reinterpret_cast<char *>(&Size), sizeof Size) ||
       !Is.read(reinterpret_cast<char *>(&Hash), sizeof Hash))

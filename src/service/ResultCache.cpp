@@ -24,6 +24,7 @@
 #include "service/ResultCache.h"
 
 #include "cad/Sexp.h"
+#include "egraph/SnapshotCodec.h"
 #include "support/Hashing.h"
 
 #include <algorithm>
@@ -66,14 +67,18 @@ namespace {
 /// their value across the Int/Float divide (Int 5 == Float 5.0, the
 /// same aliasing termValueHash guarantees in-process). Injective up to
 /// that equivalence: every field is length- or count-prefixed.
-void stableTermFingerprintRec(const Term &T, Fnv1a &F) {
+/// \p NumericValues false erases numeric leaf *values* too (each hashes
+/// as the bare shared tag) — the structureTermFingerprint variant.
+void stableTermFingerprintRec(const Term &T, Fnv1a &F, bool NumericValues) {
   const Op &O = T.op();
   switch (O.kind()) {
   case OpKind::Int:
   case OpKind::Float: {
     F.u64(uint64_t(1) << 32); // shared numeric tag
-    double V = O.numericValue();
-    F.f64(V == 0.0 ? 0.0 : V); // canonicalize -0.0
+    if (NumericValues) {
+      double V = O.numericValue();
+      F.f64(V == 0.0 ? 0.0 : V); // canonicalize -0.0
+    }
     break;
   }
   case OpKind::Var:
@@ -92,16 +97,26 @@ void stableTermFingerprintRec(const Term &T, Fnv1a &F) {
   }
   F.u64(T.numChildren());
   for (const TermPtr &Kid : T.children())
-    stableTermFingerprintRec(*Kid, F);
+    stableTermFingerprintRec(*Kid, F, NumericValues);
 }
 
 uint64_t stableTermFingerprint(const TermPtr &T) {
   Fnv1a F;
-  stableTermFingerprintRec(*T, F);
+  stableTermFingerprintRec(*T, F, /*NumericValues=*/true);
   return F.hash();
 }
 
 } // namespace
+
+uint64_t service::exactTermFingerprint(const TermPtr &T) {
+  return stableTermFingerprint(T);
+}
+
+uint64_t service::structureTermFingerprint(const TermPtr &T) {
+  Fnv1a F;
+  stableTermFingerprintRec(*T, F, /*NumericValues=*/false);
+  return F.hash();
+}
 
 uint64_t service::ruleDatabaseFingerprint(const std::vector<Rewrite> &Rules) {
   Fnv1a F;
@@ -143,6 +158,107 @@ CacheKey service::makeCacheKey(const TermPtr &FlatInput, uint64_t RulesFp,
   return Key;
 }
 
+uint64_t service::snapshotOptionsFingerprint(const SynthesisOptions &Opts) {
+  Fnv1a F;
+  F.u64(1); // snapshot-options-fingerprint schema version
+  F.u64(Opts.Limits.NodeLimit)
+      .u64(Opts.Limits.MatchLimit)
+      .u64(Opts.Limits.BanLengthIters);
+  return F.hash();
+}
+
+CacheKey service::makeSnapshotKey(const TermPtr &FlatInput, uint64_t RulesFp,
+                                  const SynthesisOptions &Opts) {
+  CacheKey Key;
+  Key.InputHash = structureTermFingerprint(FlatInput);
+  Key.RulesFp = RulesFp;
+  Key.OptionsFp = snapshotOptionsFingerprint(Opts);
+  return Key;
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshot entry envelope
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Magic of an encoded snapshot entry; the trailing digit is the envelope
+/// format version (a mismatch is "unsupported", not "corrupt").
+constexpr char SnapshotEntryMagic[8] = {'S', 'R', 'A', 'Y', 'S', 'N', 'E', '1'};
+constexpr uint32_t SnapshotEntryVersion = 1;
+
+} // namespace
+
+std::string service::encodeSnapshotEntry(const SnapshotEntry &E) {
+  snapcodec::Writer W;
+  W.u32(SnapshotEntryVersion);
+  W.u64(E.InputHash);
+  W.u8(static_cast<uint8_t>(E.Cost));
+  W.u64(E.TopK);
+  W.u8(static_cast<uint8_t>(E.Stop));
+  W.u64(E.IterationsDone);
+  W.str(E.InputSexp);
+  W.str(E.Cursors);
+  W.str(E.Extract);
+  W.str(E.Graph);
+  const std::string Payload = W.take();
+
+  std::string Out(SnapshotEntryMagic, sizeof SnapshotEntryMagic);
+  snapcodec::Writer Header;
+  Header.u64(Payload.size());
+  Header.u64(snapcodec::fnv1a(Payload));
+  Out += Header.bytes();
+  Out += Payload;
+  return Out;
+}
+
+std::string service::decodeSnapshotEntry(std::string_view Bytes,
+                                         SnapshotEntry &Out) {
+  constexpr size_t HeaderSize = sizeof SnapshotEntryMagic + 16;
+  if (Bytes.size() < HeaderSize)
+    return "snapshot entry truncated before the header";
+  if (std::memcmp(Bytes.data(), SnapshotEntryMagic,
+                  sizeof SnapshotEntryMagic - 1) != 0)
+    return "not a snapshot entry (bad magic)";
+  if (Bytes[sizeof SnapshotEntryMagic - 1] !=
+      SnapshotEntryMagic[sizeof SnapshotEntryMagic - 1])
+    return "unsupported snapshot entry format version";
+  snapcodec::Reader Header(
+      std::string(Bytes.substr(sizeof SnapshotEntryMagic, 16)));
+  const uint64_t Len = Header.u64();
+  const uint64_t Sum = Header.u64();
+  std::string_view Payload = Bytes.substr(HeaderSize);
+  if (Len != Payload.size())
+    return "snapshot entry length mismatch";
+  // One checksum over the whole payload: any bit flip anywhere — the
+  // envelope fields, the inner blobs, their own checksums — fails here,
+  // before any inner decoder sees the bytes.
+  if (snapcodec::fnv1a(Payload) != Sum)
+    return "snapshot entry checksum mismatch";
+
+  snapcodec::Reader R{std::string(Payload)};
+  if (R.u32() != SnapshotEntryVersion || !R.ok())
+    return "unsupported snapshot entry payload version";
+  Out.InputHash = R.u64();
+  const uint8_t Cost = R.u8();
+  Out.TopK = R.u64();
+  const uint8_t Stop = R.u8();
+  Out.IterationsDone = R.u64();
+  Out.InputSexp = R.str();
+  Out.Cursors = R.str();
+  Out.Extract = R.str();
+  Out.Graph = R.str();
+  if (!R.ok() || !R.atEnd())
+    return "snapshot entry payload truncated";
+  if (Cost > static_cast<uint8_t>(CostKind::RewardLoops))
+    return "snapshot entry cost kind out of range";
+  if (Stop > static_cast<uint8_t>(StopReason::Cancelled))
+    return "snapshot entry stop reason out of range";
+  Out.Cost = static_cast<CostKind>(Cost);
+  Out.Stop = static_cast<StopReason>(Stop);
+  return "";
+}
+
 ResultCache::ResultCache(std::string Dir)
     : ResultCache(std::move(Dir), Limits()) {}
 
@@ -166,8 +282,29 @@ void ResultCache::insertMemLocked(const std::string &Hex,
   }
 }
 
+void ResultCache::insertSnapMemLocked(const std::string &Hex,
+                                      const std::string &Blob) {
+  auto It = SnapMem.find(Hex);
+  if (It != SnapMem.end()) {
+    It->second->second = Blob;
+    SnapMemList.splice(SnapMemList.begin(), SnapMemList, It->second);
+    return;
+  }
+  SnapMemList.emplace_front(Hex, Blob);
+  SnapMem[Hex] = SnapMemList.begin();
+  while (Lim.MaxMemSnapshots != 0 && SnapMem.size() > Lim.MaxMemSnapshots) {
+    SnapMem.erase(SnapMemList.back().first);
+    SnapMemList.pop_back();
+    ++St.SnapshotMemEvictions;
+  }
+}
+
 std::string ResultCache::pathFor(const CacheKey &Key) const {
   return Dir + "/" + Key.hex() + ".srres";
+}
+
+std::string ResultCache::snapshotPathFor(const CacheKey &Key) const {
+  return Dir + "/" + Key.hex() + ".srsnap";
 }
 
 namespace {
@@ -266,13 +403,6 @@ void ResultCache::store(const CacheKey &Key,
   if (Dir.empty())
     return;
 
-  // File write outside the lock (see lookup): the tmp-name + rename
-  // protocol already tolerates concurrent writers of the same key.
-  std::error_code Ec;
-  std::filesystem::create_directories(Dir, Ec);
-  if (Ec)
-    return; // cache degrades to memory-only; synthesis already succeeded
-
   std::ostringstream Os;
   Os << "shrinkray-result-cache v1\n"
      << "key " << Hex << "\n"
@@ -282,8 +412,18 @@ void ResultCache::store(const CacheKey &Key,
     std::memcpy(&CostBits, &P.Cost, sizeof CostBits);
     Os << hex16(CostBits) << " " << printSexp(P.T) << "\n";
   }
+  writeFile(pathFor(Key), Os.str(), Sweep);
+}
 
-  const std::string Path = pathFor(Key);
+void ResultCache::writeFile(const std::string &Path, const std::string &Bytes,
+                            bool Sweep) {
+  // File write outside the lock (see lookup): the tmp-name + rename
+  // protocol already tolerates concurrent writers of the same key.
+  std::error_code Ec;
+  std::filesystem::create_directories(Dir, Ec);
+  if (Ec)
+    return; // cache degrades to memory-only; synthesis already succeeded
+
   // Unique per process *and* thread: with the lock no longer covering
   // the write, two workers storing the same key must not share a tmp.
   const std::string Tmp =
@@ -299,9 +439,9 @@ void ResultCache::store(const CacheKey &Key,
       std::to_string(std::hash<std::thread::id>()(std::this_thread::get_id()));
   bool Written = false;
   {
-    std::ofstream Out(Tmp, std::ios::trunc);
+    std::ofstream Out(Tmp, std::ios::trunc | std::ios::binary);
     if (Out) {
-      Out << Os.str();
+      Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
       Written = Out.good();
     }
   }
@@ -315,6 +455,76 @@ void ResultCache::store(const CacheKey &Key,
     sweepDisk();
 }
 
+std::optional<SnapshotEntry> ResultCache::lookupSnapshot(const CacheKey &Key) {
+  const std::string Hex = Key.hex();
+  std::string Blob;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    auto It = SnapMem.find(Hex);
+    if (It != SnapMem.end()) {
+      SnapMemList.splice(SnapMemList.begin(), SnapMemList, It->second);
+      Blob = It->second->second;
+    } else if (Dir.empty()) {
+      ++St.SnapshotMisses;
+      return std::nullopt;
+    }
+  }
+
+  bool FromDisk = false;
+  if (Blob.empty()) {
+    // Disk probe outside the lock, as in lookup().
+    std::ifstream In(snapshotPathFor(Key), std::ios::binary);
+    if (In) {
+      std::ostringstream Os;
+      Os << In.rdbuf();
+      Blob = std::move(Os).str();
+      FromDisk = In.good() || In.eof();
+    }
+    if (!FromDisk || Blob.empty()) {
+      std::lock_guard<std::mutex> Lock(M);
+      ++St.SnapshotMisses;
+      return std::nullopt;
+    }
+  }
+
+  // Decode outside the lock too — entries are megabytes. Memory-tier
+  // blobs re-decode on every hit, which keeps one validation path for
+  // both tiers (and is cheap next to the synthesis it saves).
+  SnapshotEntry E;
+  const std::string Err = decodeSnapshotEntry(Blob, E);
+  std::lock_guard<std::mutex> Lock(M);
+  if (!Err.empty()) {
+    // A corrupt blob is a miss, not an error: warm starts are an
+    // optimization, and the cold pipeline is always available.
+    ++St.SnapshotMisses;
+    return std::nullopt;
+  }
+  ++St.SnapshotHits;
+  if (FromDisk)
+    insertSnapMemLocked(Hex, Blob);
+  return E;
+}
+
+void ResultCache::storeSnapshot(const CacheKey &Key, const SnapshotEntry &E) {
+  const std::string Hex = Key.hex();
+  const std::string Blob = encodeSnapshotEntry(E);
+  bool Sweep = false;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    ++St.SnapshotStores;
+    insertSnapMemLocked(Hex, Blob);
+    // Snapshot stores advance the same amortized sweep counter as result
+    // stores: a snapshot-only workload must still hit its disk budgets.
+    if (!Dir.empty() && (Lim.MaxDiskBytes != 0 || Lim.MaxAgeSec != 0.0))
+      Sweep = ++StoresSinceSweep >= 16;
+    if (Sweep)
+      StoresSinceSweep = 0;
+  }
+  if (Dir.empty())
+    return;
+  writeFile(snapshotPathFor(Key), Blob, Sweep);
+}
+
 void ResultCache::sweepDisk() {
   if (Dir.empty() || (Lim.MaxDiskBytes == 0 && Lim.MaxAgeSec == 0.0))
     return;
@@ -325,6 +535,7 @@ void ResultCache::sweepDisk() {
     fs::file_time_type Written;
     uintmax_t Bytes = 0;
     bool IsTmp = false;
+    bool IsSnapshot = false;
   };
   std::vector<DiskEntry> Entries;
   uintmax_t TotalBytes = 0;
@@ -335,8 +546,13 @@ void ResultCache::sweepDisk() {
     const std::string Name = P.filename().string();
     DiskEntry E;
     E.Path = P;
-    E.IsTmp = Name.find(".srres.tmp.") != std::string::npos;
-    if (!E.IsTmp && P.extension() != ".srres")
+    // Both tiers share the budgets: a megabyte-scale snapshot tier that
+    // escaped the sweep would render MaxDiskBytes meaningless, and its
+    // crashed writers would leak tmp orphans forever.
+    E.IsSnapshot = Name.find(".srsnap") != std::string::npos;
+    E.IsTmp = Name.find(".srres.tmp.") != std::string::npos ||
+              Name.find(".srsnap.tmp.") != std::string::npos;
+    if (!E.IsTmp && P.extension() != ".srres" && P.extension() != ".srsnap")
       continue; // never touch files the cache did not write
     std::error_code St1, St2;
     E.Written = fs::last_write_time(P, St1);
@@ -358,7 +574,7 @@ void ResultCache::sweepDisk() {
               return A.Written < B.Written;
             });
 
-  size_t Removed = 0;
+  size_t Removed = 0, SnapRemoved = 0;
   for (const DiskEntry &E : Entries) {
     const bool Expired = Lim.MaxAgeSec != 0.0 && ageSec(E) > Lim.MaxAgeSec;
     const bool OverBudget =
@@ -372,12 +588,13 @@ void ResultCache::sweepDisk() {
       continue; // concurrent writer won the race; its entry is current
     if (!E.IsTmp) {
       TotalBytes -= E.Bytes;
-      ++Removed;
+      ++(E.IsSnapshot ? SnapRemoved : Removed);
     }
   }
-  if (Removed != 0) {
+  if (Removed != 0 || SnapRemoved != 0) {
     std::lock_guard<std::mutex> Lock(M);
     St.DiskEvictions += Removed;
+    St.SnapshotDiskEvictions += SnapRemoved;
   }
 }
 

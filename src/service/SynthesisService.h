@@ -65,6 +65,16 @@ struct ServiceConfig {
   /// setting, so this is purely a scheduling choice); 0 = leave the
   /// job's own value untouched.
   size_t JobNumThreads = 1;
+  /// Master switch for the snapshot tier: successful single-round jobs
+  /// capture their post-saturation pipeline state, and near-miss requests
+  /// (same input with deeper fuel, a different cost function, or a small
+  /// numeric edit) restore it instead of saturating from scratch. Warm
+  /// results are identical to cold ones — this only changes wall clock.
+  bool EnableWarmStart = true;
+  /// Edit ceiling for the warm path: a request whose input differs from a
+  /// captured one in more than this many numeric leaf values runs cold (a
+  /// large edit invalidates most of the captured saturation anyway).
+  size_t WarmMaxEditedLeaves = 4;
 };
 
 /// One synthesis request.

@@ -21,11 +21,13 @@
 #include "egraph/Runner.h"
 #include "models/Models.h"
 #include "rewrites/Rules.h"
+#include "service/ResultCache.h"
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -302,4 +304,184 @@ TEST(Snapshot, FileRoundTrip) {
   EXPECT_EQ(R.dump(), G.dump());
   EXPECT_EQ(R.checkInvariants(), "");
   std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshot-entry corruption fuzzing (the service warm-start envelope)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A realistic encoded snapshot entry: real graph bytes, real cursors,
+/// real extraction-engine state, sealed behind the entry envelope — the
+/// exact artifact a `.srsnap` file holds.
+std::string realEntryBlob(service::SnapshotEntry *Plain = nullptr) {
+  EGraph G;
+  G.addTerm(models::modelByName("3148599:box-tray").FlatCsg);
+  G.rebuild();
+  RunnerCursors Cursors;
+  RunnerLimits Lim;
+  Lim.IterLimit = 3;
+  Runner(Lim).run(G, RuleSet(pipelineRules()), Cursors);
+  static const AstSizeCost Cost;
+  KBestExtractor Engine(G, Cost, 3, 1);
+
+  service::SnapshotEntry E;
+  E.InputHash = 0x1234;
+  E.InputSexp = "(Union Unit Sphere)";
+  E.Cost = CostKind::AstSize;
+  E.TopK = 3;
+  E.Stop = Cursors.Stop;
+  E.IterationsDone = Cursors.IterationsDone;
+  E.Cursors = serializeRunnerCursors(Cursors);
+  E.Extract = Engine.saveState();
+  {
+    std::ostringstream Os;
+    G.serialize(Os);
+    E.Graph = std::move(Os).str();
+  }
+  if (Plain)
+    *Plain = E;
+  return service::encodeSnapshotEntry(E);
+}
+
+/// Deterministic 64-bit LCG (Knuth MMIX constants): the sweep must be
+/// reproducible run to run, so no std::random_device / seeds from time.
+struct Lcg {
+  uint64_t X = 0x9e3779b97f4a7c15ull;
+  uint64_t next() {
+    X = X * 6364136223846793005ull + 1442695040888963407ull;
+    return X >> 16; // low bits of an LCG are weak
+  }
+};
+
+} // namespace
+
+// Every single-bit flip anywhere in an encoded snapshot entry must
+// degrade to a diagnostic decode failure — the service treats that as a
+// cache miss and runs cold — and must never crash, assert, or hand back
+// a successfully-decoded entry. One envelope checksum covers the whole
+// payload, so this holds no matter which inner blob the flip lands in.
+TEST(SnapshotEntryFuzz, BitFlipSweepAlwaysDegradesToDecodeFailure) {
+  const std::string Blob = realEntryBlob();
+  Lcg Rng;
+  // The header (magic, version, length, checksum) is swept exhaustively;
+  // the payload is sampled — every byte is under the same checksum, so
+  // position cannot matter, but the sweep proves it.
+  for (size_t Pos = 0; Pos < 24; ++Pos)
+    for (int Bit = 0; Bit < 8; ++Bit) {
+      std::string Bad = Blob;
+      Bad[Pos] ^= char(1u << Bit);
+      service::SnapshotEntry Out;
+      EXPECT_NE(service::decodeSnapshotEntry(Bad, Out), "")
+          << "accepted header flip at byte " << Pos << " bit " << Bit;
+    }
+  for (int I = 0; I < 512; ++I) {
+    const size_t Pos = 24 + Rng.next() % (Blob.size() - 24);
+    const int Bit = int(Rng.next() % 8);
+    std::string Bad = Blob;
+    Bad[Pos] ^= char(1u << Bit);
+    service::SnapshotEntry Out;
+    EXPECT_NE(service::decodeSnapshotEntry(Bad, Out), "")
+        << "accepted payload flip at byte " << Pos << " bit " << Bit;
+  }
+}
+
+// Same contract for truncation at any length: header boundaries
+// exhaustively, payload lengths sampled.
+TEST(SnapshotEntryFuzz, TruncationSweepAlwaysDegradesToDecodeFailure) {
+  const std::string Blob = realEntryBlob();
+  Lcg Rng;
+  std::vector<size_t> Lengths;
+  for (size_t L = 0; L <= 32; ++L)
+    Lengths.push_back(L);
+  for (int I = 0; I < 256; ++I)
+    Lengths.push_back(Rng.next() % (Blob.size() - 1));
+  Lengths.push_back(Blob.size() - 1);
+  for (size_t L : Lengths) {
+    service::SnapshotEntry Out;
+    EXPECT_NE(service::decodeSnapshotEntry(Blob.substr(0, L), Out), "")
+        << "accepted truncation at " << L;
+  }
+  // Trailing garbage is also malformed (the length field pins the size).
+  service::SnapshotEntry Out;
+  EXPECT_NE(service::decodeSnapshotEntry(Blob + "x", Out), "");
+}
+
+// Mutations that survive the envelope (because the attacker — or a
+// damaged disk sector plus a colliding checksum — re-seals it) land in
+// the inner blobs, each of which carries its own checksum: a re-sealed
+// flip inside the graph bytes must be rejected by EGraph::deserialize
+// with a diagnostic, never a crash or a half-restored graph.
+TEST(SnapshotEntryFuzz, ResealedGraphMutationsRejectedByInnerDecoder) {
+  service::SnapshotEntry Plain;
+  realEntryBlob(&Plain);
+  Lcg Rng;
+  for (int I = 0; I < 64; ++I) {
+    service::SnapshotEntry Mut = Plain;
+    // Flip past the graph header so the graph's own checksum (not its
+    // magic check) does the rejecting on most iterations.
+    const size_t Pos = Rng.next() % Mut.Graph.size();
+    Mut.Graph[Pos] ^= char(1u << (Rng.next() % 8));
+    const std::string Resealed = service::encodeSnapshotEntry(Mut);
+
+    service::SnapshotEntry Out;
+    ASSERT_EQ(service::decodeSnapshotEntry(Resealed, Out), "");
+    EGraph R;
+    std::istringstream Is(Out.Graph);
+    EXPECT_NE(R.deserialize(Is), "") << "graph flip at " << Pos;
+    EXPECT_EQ(R.numClasses(), 0u);
+  }
+}
+
+// Mutated `.srsnap` files on disk are misses, not errors: the cache
+// counts them and the caller falls back to a cold run.
+TEST(SnapshotEntryFuzz, CorruptDiskEntriesDegradeToMisses) {
+  const std::string Blob = realEntryBlob();
+  const std::string Dir = testing::TempDir() + "/srsnap_fuzz";
+  std::filesystem::remove_all(Dir);
+
+  service::CacheKey Key = service::makeSnapshotKey(
+      parse("(Union Unit Sphere)"), 7, SynthesisOptions());
+  service::ResultCache C(Dir);
+  Lcg Rng;
+  for (int I = 0; I < 16; ++I) {
+    std::string Bad = Blob;
+    Bad[Rng.next() % Bad.size()] ^= char(1u << (Rng.next() % 8));
+    {
+      std::ofstream Out(Dir + "/" + Key.hex() + ".srsnap",
+                        std::ios::binary | std::ios::trunc);
+      Out << Bad;
+    }
+    EXPECT_FALSE(C.lookupSnapshot(Key).has_value()) << "round " << I;
+  }
+  EXPECT_EQ(C.stats().SnapshotMisses, 16u);
+  EXPECT_EQ(C.stats().SnapshotHits, 0u);
+}
+
+// Format-version bumps are refused up front with the "unsupported"
+// family of diagnostics (distinct from corruption): a newer writer's
+// files must not be half-read by an older reader.
+TEST(SnapshotEntryFuzz, FormatVersionBumpsAreUnsupportedNotCorrupt) {
+  // The entry envelope's version byte ("SRAYSNE1" -> "SRAYSNE2").
+  std::string Blob = realEntryBlob();
+  ASSERT_EQ(Blob.substr(0, 8), "SRAYSNE1");
+  Blob[7] = '2';
+  service::SnapshotEntry Out;
+  EXPECT_EQ(service::decodeSnapshotEntry(Blob, Out),
+            "unsupported snapshot entry format version");
+
+  // The graph blob's version byte ("SRAYEGR2" -> "SRAYEGR1"): an entry
+  // that re-seals over a downgraded graph decodes, but the graph decoder
+  // refuses it before reading any further.
+  service::SnapshotEntry Plain;
+  realEntryBlob(&Plain);
+  ASSERT_EQ(Plain.Graph.substr(0, 8), "SRAYEGR2");
+  Plain.Graph[7] = '1';
+  const std::string Resealed = service::encodeSnapshotEntry(Plain);
+  ASSERT_EQ(service::decodeSnapshotEntry(Resealed, Out), "");
+  EGraph R;
+  std::istringstream Is(Out.Graph);
+  EXPECT_EQ(R.deserialize(Is), "unsupported e-graph snapshot format version");
+  EXPECT_EQ(R.numClasses(), 0u);
 }
