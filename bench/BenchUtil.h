@@ -29,9 +29,25 @@
 #include <type_traits>
 #include <utility>
 #include <vector>
+#ifndef _WIN32
+#include <sys/resource.h>
+#endif
 
 namespace shrinkray {
 namespace bench {
+
+/// Process peak resident set size in MiB (getrusage; 0 when unavailable).
+/// Peak RSS is monotone over the process lifetime, so a per-row value
+/// records the high-water mark as of that row's completion.
+inline double peakRssMb() {
+#ifndef _WIN32
+  struct rusage RU;
+  if (getrusage(RUSAGE_SELF, &RU) == 0)
+    return static_cast<double>(RU.ru_maxrss) / 1024.0;
+#endif
+  return 0.0;
+}
+
 
 /// Monotonic wall timer. All harness-level timing must go through
 /// steady_clock so the BENCH_*.json numbers stay comparable across runs
@@ -128,6 +144,17 @@ private:
   }
   std::vector<std::pair<std::string, std::string>> Fields;
 };
+
+/// Appends the memory/interner columns shared by the harness rows:
+/// process-peak RSS plus the term-interner counters. The counters are
+/// cumulative across the process, so deltas between consecutive rows
+/// attribute interning traffic to the work in between.
+inline void addResourceFields(JsonObject &O) {
+  const TermInternStats S = termInternStats();
+  O.add("peak_rss_mb", peakRssMb())
+      .add("terms_interned", S.Unique)
+      .add("intern_hit_rate", S.hitRate());
+}
 
 /// Accumulates one harness' machine-readable results and writes them to
 /// BENCH_<name>.json — the per-PR perf trajectory the repo tracks. Scalar

@@ -45,12 +45,13 @@ const char *const TailModels[] = {
 double timeRow(JsonReport &Report, const std::string &Model,
                const char *Kind, double Seconds, size_t Classes,
                size_t Nodes) {
-  Report.row()
-      .add("model", Model)
-      .add("kind", Kind)
-      .add("time_sec", Seconds)
-      .add("classes", Classes)
-      .add("nodes", Nodes);
+  JsonObject &Row = Report.row()
+                        .add("model", Model)
+                        .add("kind", Kind)
+                        .add("time_sec", Seconds)
+                        .add("classes", Classes)
+                        .add("nodes", Nodes);
+  addResourceFields(Row);
   std::printf("  %-18s %8.4f s   (%zu classes, %zu nodes)\n", Kind, Seconds,
               Classes, Nodes);
   return Seconds;
@@ -197,6 +198,7 @@ int main() {
           .add("extract_sec", ExtractSec)
           .add("classes", GT.numClasses())
           .add("nodes", GT.numNodes());
+      addResourceFields(Row);
       std::printf("  %-18s %8.4f s   (apply %.4f s, extract %.4f s)\n", Kind,
                   SaturateSec + ExtractSec, Rep.ApplySec, ExtractSec);
 

@@ -93,6 +93,7 @@ int main() {
     JsonObject &JRow = Report.row();
     JRow.add("model", M.Name);
     addMeasuredFields(JRow, Row);
+    addResourceFields(JRow);
 
     SumReduction += reductionPct(Row.InputNodes, Row.OutputNodes);
     SumDepthReduction += reductionPct(Row.InputDepth, Row.OutputDepth);

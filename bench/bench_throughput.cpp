@@ -262,6 +262,7 @@ int main() {
               "warm, %zu/4 edit warm\n",
               WS.Identical, WS.Pairs, WS.DeeperWarm, WS.EditWarm);
 
+  const double Speedup = Conc.WallSec > 0 ? Seq.WallSec / Conc.WallSec : 0.0;
   addRows(Report, Corpus, "sequential", Seq);
   addRows(Report, Corpus, "concurrent", Conc);
   addRows(Report, Corpus, "warm", Warm);
@@ -275,8 +276,7 @@ int main() {
       .add("seq_jobs_per_sec", jobsPerSec(Seq))
       .add("conc_jobs_per_sec", jobsPerSec(Conc))
       .add("warm_jobs_per_sec", jobsPerSec(Warm))
-      .add("concurrent_speedup",
-           Conc.WallSec > 0 ? Seq.WallSec / Conc.WallSec : 0.0)
+      .add("concurrent_speedup", Speedup)
       .add("warmstart_outputs_identical", WS.Identical == WS.Pairs)
       .add("warmstart_deeper_warm", WS.DeeperWarm)
       .add("warmstart_edit_warm", WS.EditWarm);
@@ -298,5 +298,17 @@ int main() {
                  "[bench] warm-start rows: %zu/%zu identical, %zu/4 deeper "
                  "warm\n",
                  WS.Identical, WS.Pairs, WS.DeeperWarm);
-  return Report.write() && OutputsIdentical && WarmOk && WarmStartOk ? 0 : 1;
+  // The scheduler must never make the corpus *slower* than one worker:
+  // admission control caps running jobs at the core count, so even a
+  // 4-worker pool on a smaller machine degrades to sequential speed, not
+  // below it (the historical failure mode this gate pins down).
+  bool SpeedupOk = Speedup >= 1.0;
+  if (!SpeedupOk)
+    std::fprintf(stderr, "[bench] concurrent pass slower than sequential: "
+                         "speedup %.3f < 1.0\n",
+                 Speedup);
+  return Report.write() && OutputsIdentical && WarmOk && WarmStartOk &&
+                 SpeedupOk
+             ? 0
+             : 1;
 }

@@ -1,4 +1,4 @@
-//===-- cad/Term.h - Immutable CAD term trees -------------------*- C++ -*-===//
+//===-- cad/Term.h - Immutable, hashconsed CAD term trees -------*- C++ -*-===//
 //
 // Part of the ShrinkRay reproduction. MIT licensed; see README.md.
 //
@@ -9,6 +9,15 @@
 /// both flat CSG inputs and synthesized LambdaCAD outputs. Subtrees are
 /// shared via shared_ptr, so "trees" are really DAGs; size/depth metrics
 /// count the unrolled tree (matching how the paper counts AST nodes).
+///
+/// Terms are *hashconsed*: every construction routes through makeTerm,
+/// which interns the (operator, children) shape in a process-wide sharded
+/// table, so structurally equal terms are pointer-equal for their entire
+/// lifetime. Each node carries metadata (structural hash, value-level
+/// hash, size, depth, primitive count, loop flag) computed once at
+/// construction in O(arity) from its children's metadata — which makes
+/// termEquals/termHash/termValueHash/termSize/termDepth O(1) instead of
+/// O(tree).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,19 +36,38 @@ class Term;
 /// Shared immutable term handle.
 using TermPtr = std::shared_ptr<const Term>;
 
-/// An operator applied to child terms.
+/// Creates a term node. Interned: returns the existing node when an
+/// identical (operator, children) shape is live, so the result is
+/// pointer-equal to every structurally equal term. Thread-safe.
+TermPtr makeTerm(Op O, std::vector<TermPtr> Children = {});
+
+/// Interner probe that never constructs: returns the live node for
+/// (\p O, \p Children) or null. This is makeTerm's hit path without
+/// building a child vector — callers on hit-heavy paths (the fixed-point
+/// k-best oracle re-derives the same candidates every pass) probe with
+/// raw child pointers and fall back to makeTerm only on a miss.
+/// Thread-safe.
+TermPtr lookupTerm(const Op &O, const Term *const *Children, size_t N);
+
+/// An operator applied to child terms. Construction is private — all
+/// terms come from makeTerm (or the convenience constructors below),
+/// which is what upholds the interning invariant.
 class Term {
+  /// Private construction token: only makeTerm (a friend) can name it, so
+  /// the constructor can be public for make_shared — which co-allocates
+  /// the node with its control block, one allocation per interned term —
+  /// without opening construction to anyone else.
+  struct InternKey {
+    explicit InternKey() = default;
+  };
+
 public:
-  Term(Op O, std::vector<TermPtr> Children)
-      : Operator(std::move(O)), Kids(std::move(Children)) {
-    assert((opArity(Operator.kind()) < 0 ||
-            static_cast<size_t>(opArity(Operator.kind())) == Kids.size()) &&
-           "child count does not match operator arity");
-#ifndef NDEBUG
-    for (const TermPtr &Kid : Kids)
-      assert(Kid && "null child term");
-#endif
-  }
+  Term(InternKey, Op O, std::vector<TermPtr> Children, size_t StructuralHash);
+  /// Unlinks this node's slot from the intern table. Public so the
+  /// shared_ptr control block can invoke it; never called directly.
+  ~Term();
+  Term(const Term &) = delete;
+  Term &operator=(const Term &) = delete;
 
   const Op &op() const { return Operator; }
   OpKind kind() const { return Operator.kind(); }
@@ -50,39 +78,80 @@ public:
     return Kids[I];
   }
 
+  // Metadata precomputed at construction; all O(1).
+
+  /// Structural hash consistent with termEquals.
+  size_t hash() const { return HashV; }
+  /// Process-stable value-level hash: numeric literals hash by value
+  /// across the Int/Float divide, symbols by spelling. See termValueHash.
+  uint64_t valueHash() const { return ValueHashV; }
+  /// Unrolled AST node count (paper's #ns metric).
+  uint64_t size() const { return SizeV; }
+  /// AST depth; a leaf has depth 1 (paper's #d metric).
+  uint64_t depth() const { return DepthV; }
+  /// Unrolled solid-primitive leaf count (paper's #p metric).
+  uint64_t primitives() const { return PrimsV; }
+  /// True if any node is a Fold/Map/Mapi/Repeat/Fun combinator.
+  bool containsLoop() const { return LoopV; }
+
 private:
+  friend TermPtr makeTerm(Op O, std::vector<TermPtr> Children);
+
   Op Operator;
   std::vector<TermPtr> Kids;
+  size_t HashV;
+  uint64_t ValueHashV;
+  uint64_t SizeV;
+  uint64_t DepthV;
+  uint64_t PrimsV;
+  bool LoopV;
 };
 
-/// Creates a term node.
-TermPtr makeTerm(Op O, std::vector<TermPtr> Children = {});
+/// Counters for the term interner (process-wide, monotonic except Live).
+struct TermInternStats {
+  uint64_t Unique; ///< Distinct terms ever constructed (intern misses).
+  uint64_t Hits;   ///< makeTerm calls answered by an existing node.
+  uint64_t Live;   ///< Currently live interned nodes.
+  /// Fraction of makeTerm calls that reused an existing node.
+  double hitRate() const {
+    uint64_t Total = Unique + Hits;
+    return Total ? static_cast<double>(Hits) / static_cast<double>(Total) : 0.0;
+  }
+};
+
+/// Snapshot of the interner counters. Thread-safe.
+TermInternStats termInternStats();
 
 /// Number of AST nodes, unrolling shared subtrees (paper's #ns metric).
-uint64_t termSize(const TermPtr &T);
+inline uint64_t termSize(const TermPtr &T) { return T->size(); }
 
 /// AST depth; a leaf has depth 1 (paper's #d metric).
-uint64_t termDepth(const TermPtr &T);
+inline uint64_t termDepth(const TermPtr &T) { return T->depth(); }
 
 /// Number of solid-primitive leaves, unrolled (paper's #p metric). Counts
 /// Unit/Cylinder/Sphere/Hexagon/External occurrences; Repeat(prim, n) in an
 /// *unevaluated* term counts once (metrics are over the program text).
-uint64_t termPrimitives(const TermPtr &T);
+inline uint64_t termPrimitives(const TermPtr &T) { return T->primitives(); }
 
-/// Structural equality (exact float comparison).
-bool termEquals(const TermPtr &A, const TermPtr &B);
+/// Structural equality (exact float comparison). O(1): the interner
+/// guarantees structurally equal terms are pointer-equal.
+inline bool termEquals(const TermPtr &A, const TermPtr &B) {
+  return A.get() == B.get();
+}
 
 /// Structural equality with numeric literals compared within \p Eps.
 bool termApproxEquals(const TermPtr &A, const TermPtr &B, double Eps);
 
 /// Structural hash consistent with termEquals.
-size_t termHash(const TermPtr &T);
+inline size_t termHash(const TermPtr &T) { return T->hash(); }
 
 /// Hash consistent with termApproxEquals(A, B, 0.0): numeric literals hash
 /// by value across the Int/Float divide, so Int(5) and Float(5.0) collide.
 /// Used to bucket candidate programs for value-level deduplication (k-best
 /// extraction must not report Int/Float respellings as program diversity).
-size_t termValueHash(const TermPtr &T);
+/// Process-stable (symbols hash by spelling, not interning id), so it
+/// doubles as the result cache's exact-input fingerprint.
+inline size_t termValueHash(const TermPtr &T) { return T->valueHash(); }
 
 /// Incremental form of termValueHash: the hash of a node with operator \p O
 /// whose children hash to \p ChildHashes. termValueHash(makeTerm(O, Kids))
@@ -98,7 +167,7 @@ bool isFlatCsg(const TermPtr &T);
 
 /// True if the term contains a loop/function combinator (Fold/Map/Mapi/
 /// Repeat/Fun). Used to report "structure exposed" in the evaluation.
-bool containsLoop(const TermPtr &T);
+inline bool containsLoop(const TermPtr &T) { return T->containsLoop(); }
 
 // --- Convenience constructors (the public TermBuilder API) -----------------
 

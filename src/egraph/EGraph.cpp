@@ -42,12 +42,30 @@ EClassId EGraph::add(ENode Node) {
   return UF.find(Id);
 }
 
-EClassId EGraph::addTerm(const TermPtr &T) {
+namespace {
+
+EClassId addTermRec(EGraph &G, const TermPtr &T,
+                    std::unordered_map<const Term *, EClassId> &Memo) {
+  auto Hit = Memo.find(T.get());
+  if (Hit != Memo.end())
+    return Hit->second;
   std::vector<EClassId> Kids;
   Kids.reserve(T->numChildren());
   for (const TermPtr &Kid : T->children())
-    Kids.push_back(addTerm(Kid));
-  return add(ENode(T->op(), std::move(Kids)));
+    Kids.push_back(addTermRec(G, Kid, Memo));
+  EClassId Id = G.add(ENode(T->op(), std::move(Kids)));
+  // Constant folding in add()/modify() may merge classes mid-call, leaving
+  // memoized ids stale. That is safe: a memoized id is only ever reused as a
+  // child of a later ENode, and add() canonicalizes child ids through find().
+  Memo.emplace(T.get(), Id);
+  return Id;
+}
+
+} // namespace
+
+EClassId EGraph::addTerm(const TermPtr &T) {
+  std::unordered_map<const Term *, EClassId> Memo;
+  return addTermRec(*this, T, Memo);
 }
 
 std::pair<EClassId, bool> EGraph::merge(EClassId A, EClassId B) {

@@ -99,7 +99,10 @@ public:
   /// Returns the canonical id of the class containing it.
   EClassId add(ENode Node);
 
-  /// Adds a whole term bottom-up; returns the class of its root.
+  /// Adds a whole term bottom-up; returns the class of its root. Terms
+  /// are interned DAGs, so shared subtrees are visited once (a per-call
+  /// pointer-keyed memo — the e-graph hash-conses equal nodes to the
+  /// same class anyway, this just skips the redundant probes).
   EClassId addTerm(const TermPtr &T);
 
   /// Unifies two classes. Returns the canonical id of the merged class and

@@ -15,7 +15,6 @@
 
 #include <cassert>
 #include <queue>
-#include <unordered_set>
 
 using namespace shrinkray;
 
@@ -66,20 +65,40 @@ int enodeCompare(const EGraph &G, const ENode &A, const ENode &B) {
   return 0;
 }
 
+/// Sentinel for "no finite-cost term derived yet" in the worklist
+/// engine's dense cost table. Cost functions are finite by contract
+/// (monotone sums/maxes of finite leaf costs), so infinity never denotes
+/// a real cost.
+constexpr double UnsetCost = std::numeric_limits<double>::infinity();
+
+/// Cost-table lookup, overloaded so nodeCost serves both engines: the
+/// worklist engine keys a dense vector by class id (the hashed map's
+/// find() was a measurable slice of extraction profiles), the reference
+/// oracle keeps the map.
+inline const double *findCost(const std::vector<double> &Costs, EClassId Id) {
+  return Id < Costs.size() && Costs[Id] < UnsetCost ? &Costs[Id] : nullptr;
+}
+inline const double *findCost(const std::unordered_map<EClassId, double> &Costs,
+                              EClassId Id) {
+  auto It = Costs.find(Id);
+  return It == Costs.end() ? nullptr : &It->second;
+}
+
 /// Cost of \p Node given the per-class cost table, or nullopt while any
 /// child is still unextractable. Children are resolved through find(), so
 /// stale node forms cost correctly. \p Kids is caller-owned scratch —
 /// relaxation calls this once per (class, node) visit, and a fresh
 /// allocation per call dominated the one-best refresh profile.
+template <typename CostTable>
 std::optional<double> nodeCost(const EGraph &G, const CostFn &Fn,
-                               const std::unordered_map<EClassId, double> &Costs,
-                               const ENode &Node, std::vector<double> &Kids) {
+                               const CostTable &Costs, const ENode &Node,
+                               std::vector<double> &Kids) {
   Kids.clear();
   for (EClassId Kid : Node.Children) {
-    auto It = Costs.find(G.find(Kid));
-    if (It == Costs.end())
+    const double *C = findCost(Costs, G.find(Kid));
+    if (!C)
       return std::nullopt;
-    Kids.push_back(It->second);
+    Kids.push_back(*C);
   }
   return Fn.cost(Node.Operator, Kids);
 }
@@ -103,6 +122,11 @@ const std::vector<ExtractCandidate> *candList(const KTable &Table,
 /// found after O(k) pops plus duplicates instead of materializing k
 /// candidates per node and merging. Deterministic: the heap order is a
 /// total order, so ties resolve identically regardless of caller.
+///
+/// This is the *oracle's* term-materializing combine; the worklist engine
+/// runs the row-based KBestExtractor::combineClass, which shares the heap
+/// order and dedup semantics but allocates no terms — the differential
+/// tests pin the two against each other.
 std::vector<ExtractCandidate> combineClass(const EGraph &G, const CostFn &Fn,
                                            size_t K, EClassId Id,
                                            const KTable &Table) {
@@ -184,8 +208,17 @@ std::vector<ExtractCandidate> combineClass(const EGraph &G, const CostFn &Fn,
     return true;
   };
 
+  // The class's previous candidate list: in the fixed point's steady
+  // state this pass re-derives exactly these candidates, so a 5-element
+  // pointer-equality scan answers most term constructions without
+  // touching the interner at all.
+  const std::vector<ExtractCandidate> *Prev = nullptr;
+  if (auto PrevIt = Table.find(Id); PrevIt != Table.end())
+    Prev = &PrevIt->second;
+
   std::vector<ExtractCandidate> Out;
   std::vector<size_t> KidHashes;
+  std::vector<const Term *> RawKids;
   while (!Frontier.empty() && Out.size() < K) {
     Item Top = Frontier.top();
     Frontier.pop();
@@ -205,11 +238,42 @@ std::vector<ExtractCandidate> combineClass(const EGraph &G, const CostFn &Fn,
         break;
       }
     if (!Dup) {
-      std::vector<TermPtr> Kids(Arity);
-      for (size_t I = 0; I < Arity; ++I)
-        Kids[I] = kidCand(Top.NodeIdx, I, Top.Ix).T;
-      Out.push_back(
-          {Top.Cost, makeTerm(Node.Operator, std::move(Kids)), Hash});
+      // Fixed-point passes re-derive the same candidates over and over;
+      // resolve the term against last pass's list (structural identity:
+      // same operator, pointer-equal children), then the interner's
+      // lock-guarded probe, and only build a child vector when the term
+      // really is new. The steady state allocates nothing.
+      TermPtr T;
+      if (Prev)
+        for (const ExtractCandidate &P : *Prev) {
+          const Term &PT = *P.T;
+          if (P.ValueHash != Hash || PT.op() != Node.Operator ||
+              PT.numChildren() != Arity)
+            continue;
+          bool Same = true;
+          for (size_t I = 0; I < Arity; ++I)
+            if (PT.child(I).get() != kidCand(Top.NodeIdx, I, Top.Ix).T.get()) {
+              Same = false;
+              break;
+            }
+          if (Same) {
+            T = P.T;
+            break;
+          }
+        }
+      if (!T) {
+        RawKids.resize(Arity);
+        for (size_t I = 0; I < Arity; ++I)
+          RawKids[I] = kidCand(Top.NodeIdx, I, Top.Ix).T.get();
+        T = lookupTerm(Node.Operator, RawKids.data(), Arity);
+      }
+      if (!T) {
+        std::vector<TermPtr> Kids(Arity);
+        for (size_t I = 0; I < Arity; ++I)
+          Kids[I] = kidCand(Top.NodeIdx, I, Top.Ix).T;
+        T = makeTerm(Node.Operator, std::move(Kids));
+      }
+      Out.push_back({Top.Cost, std::move(T), Hash});
     }
 
     // Expand successors: bump one child index at a time, never before the
@@ -308,19 +372,26 @@ void Extractor::refresh() {
   SyncedGen = G.generation();
   G.updateDirtyLease(DirtyLease, SyncedGen);
   BuildMemo.clear();
-  if (Costs.size() > 2 * G.numClasses()) {
-    eraseStaleRows(G, Costs);
+  if (CostsLive > 2 * G.numClasses()) {
+    for (EClassId Id = 0; Id < Costs.size(); ++Id)
+      if (Costs[Id] < UnsetCost && G.find(Id) != Id) {
+        Costs[Id] = UnsetCost;
+        --CostsLive;
+      }
     eraseStaleRows(G, Choices);
   }
 }
 
 bool Extractor::relax(EClassId Id, const ENode &Node) {
   std::optional<double> C = nodeCost(G, Fn, Costs, Node, KidCostScratch);
-  if (!C)
+  // A non-finite candidate cost (a degenerate cost function) cannot beat
+  // or tie the UnsetCost sentinel meaningfully; treat it as unextractable.
+  if (!C || !(*C < UnsetCost))
     return false;
-  auto It = Costs.find(Id);
-  bool Better = It == Costs.end() || *C < It->second;
-  if (!Better && *C == It->second) {
+  double &Slot = Costs[Id];
+  bool Absent = !(Slot < UnsetCost);
+  bool Better = Absent || *C < Slot;
+  if (!Better && *C == Slot) {
     // Equal cost: adopt the candidate only if it is the smaller e-node, so
     // the final choice is the unique (cost, node) minimum. Stored forms may
     // be stale; enodeCompare resolves children through find().
@@ -332,17 +403,28 @@ bool Extractor::relax(EClassId Id, const ENode &Node) {
   }
   if (!Better)
     return false;
-  Costs[Id] = *C;
+  if (Absent)
+    ++CostsLive;
+  Slot = *C;
   Choices.insert_or_assign(Id, Node);
   return true;
 }
 
 void Extractor::deriveFrom(const std::vector<EClassId> &Seeds) {
+  // The graph may have allocated ids since the last derivation; new slots
+  // start unset. The id space never shrinks, so this never drops entries.
+  if (Costs.size() < G.numIds())
+    Costs.resize(G.numIds(), UnsetCost);
   std::vector<EClassId> WL;
-  std::unordered_set<EClassId> InWL;
+  // Dense membership bytes (indexed by class id): the worklist churns
+  // through every cost improvement, and a hashed set here showed up in
+  // the refresh profile.
+  std::vector<uint8_t> InWL(G.numIds(), 0);
   auto push = [&](EClassId Id) {
-    if (InWL.insert(Id).second)
+    if (!InWL[Id]) {
+      InWL[Id] = 1;
       WL.push_back(Id);
+    }
   };
 
   // Re-derive every seed from its full node set (a seed may have gained
@@ -360,7 +442,7 @@ void Extractor::deriveFrom(const std::vector<EClassId> &Seeds) {
   while (!WL.empty()) {
     EClassId Id = WL.back();
     WL.pop_back();
-    InWL.erase(Id);
+    InWL[Id] = 0;
     for (const auto &[PNode, PClass] : G.canonicalParents(Id))
       if (relax(PClass, PNode))
         push(PClass);
@@ -368,10 +450,10 @@ void Extractor::deriveFrom(const std::vector<EClassId> &Seeds) {
 }
 
 std::optional<double> Extractor::bestCost(EClassId Id) const {
-  auto It = Costs.find(G.find(Id));
-  if (It == Costs.end())
+  const double *C = findCost(Costs, G.find(Id));
+  if (!C)
     return std::nullopt;
-  return It->second;
+  return *C;
 }
 
 TermPtr Extractor::extract(EClassId Id) const { return build(G.find(Id)); }
@@ -401,19 +483,14 @@ Extractor::Extractor(RestoreTag, const EGraph &G, const CostFn &Fn)
 std::string Extractor::saveState() const {
   snapcodec::Writer W;
   W.u64(SyncedGen);
-  // Rows in ascending class-id order: the maps iterate in hash order, and
+  // Rows in ascending class-id order (the dense table's natural order):
   // the blob must be a pure function of the logical state.
-  std::vector<EClassId> Ids;
-  Ids.reserve(Costs.size());
-  for (const auto &[Id, C] : Costs) {
-    (void)C;
-    Ids.push_back(Id);
-  }
-  std::sort(Ids.begin(), Ids.end());
-  W.u32(static_cast<uint32_t>(Ids.size()));
-  for (EClassId Id : Ids) {
+  W.u32(static_cast<uint32_t>(CostsLive));
+  for (EClassId Id = 0; Id < Costs.size(); ++Id) {
+    if (!(Costs[Id] < UnsetCost))
+      continue;
     W.u32(Id);
-    W.f64(Costs.at(Id));
+    W.f64(Costs[Id]);
     W.node(Choices.at(Id));
   }
   return W.take();
@@ -435,7 +512,8 @@ std::string Extractor::restoreState(std::string_view Bytes) {
   if (!R.ok() || !R.fits(NumRows, 17))
     return "truncated extraction state";
   const uint32_t NumIds = static_cast<uint32_t>(G.numIds());
-  Costs.clear();
+  Costs.assign(NumIds, UnsetCost);
+  CostsLive = 0;
   Choices.clear();
   uint32_t PrevId = 0;
   for (uint32_t I = 0; I < NumRows; ++I) {
@@ -448,12 +526,13 @@ std::string Extractor::restoreState(std::string_view Bytes) {
     if (G.find(Id) != Id)
       return "extraction state row keyed by a non-canonical class";
     const double Cost = R.f64();
-    if (!R.ok() || std::isnan(Cost))
+    if (!R.ok() || !(Cost < UnsetCost))
       return "invalid extraction cost";
     std::optional<ENode> Choice = R.node(NumIds, Err);
     if (!Choice)
       return Err.empty() ? "truncated extraction choice" : Err;
-    Costs.emplace(Id, Cost);
+    Costs[Id] = Cost;
+    ++CostsLive;
     Choices.emplace(Id, std::move(*Choice));
   }
   if (!R.ok() || !R.atEnd())
@@ -586,7 +665,11 @@ void KBestExtractor::deriveFrom(const std::vector<EClassId> &Seeds) {
   // mostly chains) produce thousands of tiny waves, and a full
   // ready-scan of Pending per wave made the scheduler quadratic there:
   // ~1.8 s of a 2.4 s nintendo-slot derivation was the rescans alone.
-  std::unordered_set<EClassId> Pending;
+  // Pending-set membership is a dense byte per class id, not a hashed
+  // set: isReady probes it once per (node, child), which made the set
+  // lookups themselves a measurable slice of the derivation profile.
+  std::vector<uint8_t> Pending(G.numIds(), 0);
+  size_t NumPending = 0;
   std::vector<EClassId> Recheck;
   // Fallback aid: min-heap of (one-best cost, id) with at least one live
   // entry per pending class (lazy deletion — entries of classes that left
@@ -602,17 +685,19 @@ void KBestExtractor::deriveFrom(const std::vector<EClassId> &Seeds) {
     Id = G.find(Id);
     // no finite cost => can never have candidates
     if (std::optional<double> C = OneBest.bestCost(Id)) {
-      if (Pending.insert(Id).second)
+      if (!Pending[Id]) {
+        Pending[Id] = 1;
+        ++NumPending;
         CheapestPending.emplace(*C, Id);
+      }
       // Unconditional: a re-enqueue is a readiness event even when the
       // class never left the pending set (its children may have).
       Recheck.push_back(Id);
     }
   };
-  Pending.reserve(Seeds.size());
   for (EClassId Id : Seeds)
     enqueue(Id);
-  if (Pending.empty())
+  if (NumPending == 0)
     return;
 
   // Concurrent combines only read the graph through find()/eclass();
@@ -624,7 +709,7 @@ void KBestExtractor::deriveFrom(const std::vector<EClassId> &Seeds) {
     for (const ENode &Node : G.eclass(Id).Nodes)
       for (EClassId Kid : Node.Children) {
         EClassId C = G.find(Kid);
-        if (C != Id && Pending.count(C))
+        if (C != Id && Pending[C])
           return false;
       }
     return true;
@@ -633,16 +718,17 @@ void KBestExtractor::deriveFrom(const std::vector<EClassId> &Seeds) {
   // Wave members sort by (one-best cost, id); the cost is decorated in
   // rather than looked up per comparison.
   std::vector<std::pair<double, EClassId>> Wave;
-  std::vector<std::vector<ExtractCandidate>> Results;
+  std::vector<std::vector<PendingCand>> Results;
+  std::vector<CandRef> NewList;
   // Mirrors the serial engine's pop cap — sheer paranoia for graphs
   // where k-truncation feedback through cycles could oscillate.
   size_t CombinesLeft = (4 * G.numClasses() + 8) * (K + 2);
-  while (!Pending.empty()) {
+  while (NumPending != 0) {
     Wave.clear();
     std::sort(Recheck.begin(), Recheck.end());
     Recheck.erase(std::unique(Recheck.begin(), Recheck.end()), Recheck.end());
     for (EClassId Id : Recheck)
-      if (Pending.count(Id) && isReady(Id))
+      if (Pending[Id] && isReady(Id))
         Wave.emplace_back(*OneBest.bestCost(Id), Id);
     Recheck.clear();
     if (Wave.empty()) {
@@ -653,7 +739,7 @@ void KBestExtractor::deriveFrom(const std::vector<EClassId> &Seeds) {
       // commits, so they re-enter through the recheck of its parents.
       // The heap cannot run dry here: every pending class has a live
       // entry, and Pending is non-empty.
-      while (!Pending.count(CheapestPending.top().second))
+      while (!Pending[CheapestPending.top().second])
         CheapestPending.pop();
       Wave.push_back(CheapestPending.top());
       CheapestPending.pop();
@@ -672,7 +758,7 @@ void KBestExtractor::deriveFrom(const std::vector<EClassId> &Seeds) {
 
     Results.resize(Wave.size());
     auto combineOne = [&](size_t I) {
-      Results[I] = combineClass(G, Fn, K, Wave[I].second, Table);
+      Results[I] = combineClass(Wave[I].second);
     };
     if (Threads > 1 && Wave.size() >= ParallelWaveThreshold) {
       if (!Pool)
@@ -691,14 +777,49 @@ void KBestExtractor::deriveFrom(const std::vector<EClassId> &Seeds) {
     // is the complete set of readiness transitions.
     for (const auto &[Cost, Id] : Wave) {
       (void)Cost;
-      Pending.erase(Id);
+      Pending[Id] = 0;
+      --NumPending;
     }
     for (size_t I = 0; I < Wave.size(); ++I) {
       EClassId Id = Wave[I].second;
+      std::vector<CandRef> &Slot = Table[Id];
+      // Intern this member's rows now — the commit loop is the one serial
+      // writer of the row store, and wave order is a pure function of the
+      // graph, so row ids are identical at every thread count. Interning
+      // an unchanged candidate is a dedup hit, not growth — and the
+      // steady state of a refresh re-derives exactly the previous list,
+      // so each pending row is first checked against the same position
+      // of the previous list (operator + kid row ids is full structural
+      // identity), skipping the hash probe entirely on a match.
+      NewList.clear();
+      NewList.reserve(Results[I].size());
+      for (size_t C = 0; C < Results[I].size(); ++C) {
+        const PendingCand &P = Results[I][C];
+        uint32_t RowId;
+        if (C < Slot.size() &&
+            [&] {
+              const CandRow &R = Rows[Slot[C].Row];
+              if (R.ValueHash != P.ValueHash || R.Operator != P.Operator ||
+                  R.KidsEnd - R.KidsBegin != P.Kids.size())
+                return false;
+              for (size_t KI = 0; KI < P.Kids.size(); ++KI)
+                if (RowKids[R.KidsBegin + KI] != P.Kids[KI])
+                  return false;
+              return true;
+            }())
+          RowId = Slot[C].Row;
+        else
+          RowId = internRow(P.Operator, P.Kids.data(), P.Kids.size(),
+                            P.ValueHash);
+        NewList.push_back({P.Cost, RowId});
+      }
+      // Row-id equality is structural equality, so list comparison is O(k).
       bool Changed = false;
-      std::vector<ExtractCandidate> &Slot = Table[Id];
-      if (!listsEqual(Slot, Results[I])) {
-        Slot = std::move(Results[I]);
+      bool Equal = Slot.size() == NewList.size();
+      for (size_t C = 0; Equal && C < Slot.size(); ++C)
+        Equal = Slot[C].Cost == NewList[C].Cost && Slot[C].Row == NewList[C].Row;
+      if (!Equal) {
+        Slot = NewList;
         Changed = true;
       }
       for (const auto &[PNode, PClass] : G.canonicalParents(Id)) {
@@ -706,7 +827,7 @@ void KBestExtractor::deriveFrom(const std::vector<EClassId> &Seeds) {
         EClassId P = G.find(PClass);
         if (Changed)
           enqueue(P);
-        else if (Pending.count(P))
+        else if (Pending[P])
           Recheck.push_back(P);
       }
     }
@@ -718,8 +839,255 @@ std::vector<RankedTerm> KBestExtractor::extract(EClassId Id) const {
   auto It = Table.find(G.find(Id));
   if (It == Table.end())
     return Out;
-  for (const ExtractCandidate &C : It->second)
-    Out.push_back({C.T, C.Cost});
+  for (const CandRef &C : It->second)
+    Out.push_back({materializeRow(C.Row), C.Cost});
+  return Out;
+}
+
+uint32_t KBestExtractor::internRow(const Op &O, const uint32_t *Kids, size_t N,
+                                   size_t ValueHash) {
+  size_t H = O.hash();
+  for (size_t I = 0; I < N; ++I)
+    hashCombine(H, Kids[I]);
+  // Avalanche before probing: payload-free operators hash to small
+  // constants and kid row ids are small sequential integers, so the raw
+  // combine is near-sequential — which a power-of-two linear-probe table
+  // turns into one giant primary-clustering run (measured: ~640 probes
+  // per insert on the nintendo graph without this).
+  H = static_cast<size_t>(mix64(H));
+  // Grow before probing so the insert position found below stays valid.
+  if ((Rows.size() + 1) * 4 > RowIndex.size() * 3) {
+    std::vector<RowSlot> Old(RowIndex.empty() ? 256 : RowIndex.size() * 2);
+    Old.swap(RowIndex);
+    const size_t Mask = RowIndex.size() - 1;
+    for (const RowSlot &Sl : Old) {
+      if (!Sl.RowPlus1)
+        continue;
+      size_t I = Sl.Hash & Mask;
+      while (RowIndex[I].RowPlus1)
+        I = (I + 1) & Mask;
+      RowIndex[I] = Sl;
+    }
+  }
+  const size_t Mask = RowIndex.size() - 1;
+  size_t SlotI = H & Mask;
+  for (; RowIndex[SlotI].RowPlus1; SlotI = (SlotI + 1) & Mask) {
+    if (RowIndex[SlotI].Hash != H)
+      continue;
+    const uint32_t R = RowIndex[SlotI].RowPlus1 - 1;
+    const CandRow &Row = Rows[R];
+    if (Row.Operator != O || Row.KidsEnd - Row.KidsBegin != N)
+      continue;
+    bool Same = true;
+    for (size_t I = 0; I < N; ++I) {
+      if (RowKids[Row.KidsBegin + I] != Kids[I]) {
+        Same = false;
+        break;
+      }
+    }
+    if (Same)
+      return R;
+  }
+  const uint32_t Begin = static_cast<uint32_t>(RowKids.size());
+  RowKids.insert(RowKids.end(), Kids, Kids + N);
+  Rows.push_back(
+      CandRow{O, Begin, static_cast<uint32_t>(RowKids.size()), ValueHash});
+  const uint32_t Id = static_cast<uint32_t>(Rows.size() - 1);
+  RowIndex[SlotI] = RowSlot{H, Id + 1};
+  return Id;
+}
+
+bool KBestExtractor::rowValueEq(uint32_t A, uint32_t B) const {
+  if (A == B)
+    return true; // interned: structural equality is row-id equality
+  const CandRow &RA = Rows[A];
+  const CandRow &RB = Rows[B];
+  // Value-equal rows always hash equal (the hash respects the Int/Float
+  // aliasing below), so differing hashes decide without a walk.
+  if (RA.ValueHash != RB.ValueHash)
+    return false;
+  bool ANum = RA.Operator.kind() == OpKind::Int ||
+              RA.Operator.kind() == OpKind::Float;
+  bool BNum = RB.Operator.kind() == OpKind::Int ||
+              RB.Operator.kind() == OpKind::Float;
+  if (ANum || BNum)
+    return ANum && BNum &&
+           RA.Operator.numericValue() == RB.Operator.numericValue();
+  if (RA.Operator != RB.Operator)
+    return false;
+  const size_t NA = RA.KidsEnd - RA.KidsBegin;
+  if (NA != RB.KidsEnd - RB.KidsBegin)
+    return false;
+  for (size_t I = 0; I < NA; ++I)
+    if (!rowValueEq(RowKids[RA.KidsBegin + I], RowKids[RB.KidsBegin + I]))
+      return false;
+  return true;
+}
+
+TermPtr KBestExtractor::materializeRow(uint32_t Root) const {
+  auto Hit = RowTerms.find(Root);
+  if (Hit != RowTerms.end())
+    return Hit->second;
+  // Iterative, children-first: candidate programs are routinely deeper
+  // than any safe recursion budget.
+  std::vector<std::pair<uint32_t, uint32_t>> Stack;
+  Stack.emplace_back(Root, 0);
+  while (!Stack.empty()) {
+    auto &[R, NextKid] = Stack.back();
+    if (RowTerms.count(R)) {
+      Stack.pop_back();
+      continue;
+    }
+    const CandRow &Row = Rows[R];
+    const uint32_t N = Row.KidsEnd - Row.KidsBegin;
+    if (NextKid < N) {
+      const uint32_t Kid = RowKids[Row.KidsBegin + NextKid];
+      ++NextKid;
+      if (!RowTerms.count(Kid))
+        Stack.emplace_back(Kid, 0);
+      continue;
+    }
+    std::vector<TermPtr> Kids;
+    Kids.reserve(N);
+    for (uint32_t I = 0; I < N; ++I)
+      Kids.push_back(RowTerms.at(RowKids[Row.KidsBegin + I]));
+    RowTerms.emplace(R, makeTerm(Row.Operator, std::move(Kids)));
+    Stack.pop_back();
+  }
+  return RowTerms.at(Root);
+}
+
+std::vector<KBestExtractor::PendingCand>
+KBestExtractor::combineClass(EClassId Id) const {
+  const std::vector<ENode> &Nodes = G.eclass(Id).Nodes;
+
+  // Resolved child candidate lists, flattened across nodes; a node with a
+  // candidate-less child stays unusable this round (Arity == NotUsable).
+  constexpr size_t NotUsable = static_cast<size_t>(-1);
+  std::vector<const std::vector<CandRef> *> ChildLists;
+  std::vector<std::pair<size_t, size_t>> Span(Nodes.size()); // offset, arity
+  for (size_t N = 0; N < Nodes.size(); ++N) {
+    const ENode &Node = Nodes[N];
+    Span[N] = {ChildLists.size(), Node.Children.size()};
+    for (EClassId Kid : Node.Children) {
+      auto It = Table.find(G.find(Kid));
+      if (It == Table.end() || It->second.empty()) {
+        ChildLists.resize(Span[N].first);
+        Span[N].second = NotUsable;
+        break;
+      }
+      ChildLists.push_back(&It->second);
+    }
+  }
+  auto kidRef = [&](size_t N, size_t I, uint32_t Choice) -> const CandRef & {
+    return (*ChildLists[Span[N].first + I])[Choice];
+  };
+
+  // Index combinations live in one flat append-only pool; frontier items
+  // reference spans of it, so the heap shuffles 24-byte rows instead of
+  // one heap-allocated vector per item.
+  std::vector<uint32_t> IxPool;
+  struct Item {
+    double Cost;
+    uint32_t NodeIdx;
+    uint32_t Bump;
+    uint32_t IxBegin;
+    uint32_t Arity;
+  };
+  auto Later = [&IxPool](const Item &A, const Item &B) {
+    if (A.Cost != B.Cost)
+      return A.Cost > B.Cost;
+    if (A.NodeIdx != B.NodeIdx)
+      return A.NodeIdx > B.NodeIdx;
+    // Same node, same arity: the old engines' lexicographic Ix order.
+    return std::lexicographical_compare(
+        IxPool.begin() + B.IxBegin, IxPool.begin() + B.IxBegin + B.Arity,
+        IxPool.begin() + A.IxBegin, IxPool.begin() + A.IxBegin + A.Arity);
+  };
+
+  std::vector<double> CostScratch;
+  auto comboCost = [&](size_t N, uint32_t IxBegin, size_t Arity) {
+    CostScratch.resize(Arity);
+    for (size_t I = 0; I < Arity; ++I)
+      CostScratch[I] = kidRef(N, I, IxPool[IxBegin + I]).Cost;
+    return Fn.cost(Nodes[N].Operator, CostScratch);
+  };
+
+  std::priority_queue<Item, std::vector<Item>, decltype(Later)> Frontier(
+      Later);
+  for (size_t N = 0; N < Nodes.size(); ++N) {
+    if (Span[N].second == NotUsable)
+      continue;
+    const uint32_t Begin = static_cast<uint32_t>(IxPool.size());
+    IxPool.resize(IxPool.size() + Span[N].second, 0);
+    Frontier.push({comboCost(N, Begin, Span[N].second),
+                   static_cast<uint32_t>(N), 0, Begin,
+                   static_cast<uint32_t>(Span[N].second)});
+  }
+
+  // A popped combination equals an accepted candidate iff the operator and
+  // the child candidate rows match under value equality — no term is ever
+  // materialized. The hash prefilter keeps the scan to (expected) zero
+  // row comparisons.
+  auto isDupOf = [&](const PendingCand &U, const Op &O, size_t N,
+                     uint32_t IxBegin, size_t Arity) {
+    bool ONum = O.kind() == OpKind::Int || O.kind() == OpKind::Float;
+    bool UNum = U.Operator.kind() == OpKind::Int ||
+                U.Operator.kind() == OpKind::Float;
+    if (ONum || UNum)
+      return ONum && UNum && O.numericValue() == U.Operator.numericValue();
+    if (O != U.Operator || U.Kids.size() != Arity)
+      return false;
+    for (size_t I = 0; I < Arity; ++I)
+      if (!rowValueEq(kidRef(N, I, IxPool[IxBegin + I]).Row, U.Kids[I]))
+        return false;
+    return true;
+  };
+
+  std::vector<PendingCand> Out;
+  std::vector<size_t> KidHashes;
+  while (!Frontier.empty() && Out.size() < K) {
+    Item Top = Frontier.top();
+    Frontier.pop();
+    const ENode &Node = Nodes[Top.NodeIdx];
+    const size_t Arity = Top.Arity;
+
+    // O(arity): child rows carry their value hashes already.
+    KidHashes.resize(Arity);
+    for (size_t I = 0; I < Arity; ++I)
+      KidHashes[I] =
+          Rows[kidRef(Top.NodeIdx, I, IxPool[Top.IxBegin + I]).Row].ValueHash;
+    size_t Hash = termValueHashNode(Node.Operator, KidHashes);
+    bool Dup = false;
+    for (const PendingCand &U : Out)
+      if (U.ValueHash == Hash &&
+          isDupOf(U, Node.Operator, Top.NodeIdx, Top.IxBegin, Arity)) {
+        Dup = true;
+        break;
+      }
+    if (!Dup) {
+      std::vector<uint32_t> Kids(Arity);
+      for (size_t I = 0; I < Arity; ++I)
+        Kids[I] = kidRef(Top.NodeIdx, I, IxPool[Top.IxBegin + I]).Row;
+      Out.push_back(PendingCand{Top.Cost, Hash, Node.Operator,
+                                std::move(Kids)});
+    }
+
+    // Expand successors: bump one child index at a time, never before the
+    // position this item bumped.
+    for (size_t I = Top.Bump; I < Arity; ++I) {
+      if (IxPool[Top.IxBegin + I] + 1 >=
+          ChildLists[Span[Top.NodeIdx].first + I]->size())
+        continue;
+      const uint32_t Begin = static_cast<uint32_t>(IxPool.size());
+      for (size_t J = 0; J < Arity; ++J)
+        IxPool.push_back(IxPool[Top.IxBegin + J]);
+      ++IxPool[Begin + I];
+      Frontier.push({comboCost(Top.NodeIdx, Begin, Arity), Top.NodeIdx,
+                     static_cast<uint32_t>(I), Begin,
+                     static_cast<uint32_t>(Arity)});
+    }
+  }
   return Out;
 }
 
@@ -730,40 +1098,6 @@ std::vector<RankedTerm> KBestExtractor::extract(EClassId Id) const {
 namespace {
 
 constexpr uint32_t KBestFormatVersion = 1;
-
-/// Emits \p Root into the shared structure pool (children before parents,
-/// each distinct Term object once) and returns its pool index. Iterative:
-/// candidate terms are routinely deeper than any safe recursion budget.
-uint32_t poolEmit(const TermPtr &Root,
-                  std::unordered_map<const Term *, uint32_t> &PoolIdx,
-                  snapcodec::Writer &W) {
-  auto Hit = PoolIdx.find(Root.get());
-  if (Hit != PoolIdx.end())
-    return Hit->second;
-  std::vector<std::pair<const Term *, size_t>> Stack;
-  Stack.emplace_back(Root.get(), 0);
-  while (!Stack.empty()) {
-    auto &[T, NextKid] = Stack.back();
-    if (PoolIdx.count(T)) {
-      Stack.pop_back();
-      continue;
-    }
-    if (NextKid < T->numChildren()) {
-      const Term *Kid = T->child(NextKid).get();
-      ++NextKid;
-      if (!PoolIdx.count(Kid))
-        Stack.emplace_back(Kid, 0);
-      continue;
-    }
-    W.op(T->op());
-    W.u32(static_cast<uint32_t>(T->numChildren()));
-    for (size_t I = 0; I < T->numChildren(); ++I)
-      W.u32(PoolIdx.at(T->child(I).get()));
-    PoolIdx.emplace(T, static_cast<uint32_t>(PoolIdx.size()));
-    Stack.pop_back();
-  }
-  return PoolIdx.at(Root.get());
-}
 
 } // namespace
 
@@ -776,7 +1110,7 @@ std::string KBestExtractor::saveState() const {
 
   // Candidate rows in ascending class-id order (the table iterates in
   // hash order; the blob must be canonical). Empty rows are dropped: a
-  // missing row and an empty row are indistinguishable through candList.
+  // missing row and an empty row are indistinguishable through lookups.
   std::vector<EClassId> Ids;
   Ids.reserve(Table.size());
   for (const auto &[Id, Cands] : Table)
@@ -784,22 +1118,54 @@ std::string KBestExtractor::saveState() const {
       Ids.push_back(Id);
   std::sort(Ids.begin(), Ids.end());
 
-  // Structure pool: every candidate term emitted once, shared subterms
-  // shared in the encoding too (candidates are built from their
-  // children's candidate TermPtrs, so sharing is pervasive). The pool is
-  // written to a side buffer first — pool size precedes pool bytes.
+  // Structure pool: every candidate emitted once as a back-referencing
+  // DAG (children before parents). The flat row store *is* already that
+  // DAG — deduplicated and immutable — so emission walks rows directly
+  // and never materializes a term. The pool is written to a side buffer
+  // first — pool size precedes pool bytes.
   snapcodec::Writer PoolW;
-  std::unordered_map<const Term *, uint32_t> PoolIdx;
+  std::unordered_map<uint32_t, uint32_t> PoolIdx; // row id -> pool index
+  std::vector<std::pair<uint32_t, uint32_t>> Stack;
+  auto poolEmit = [&](uint32_t Root) -> uint32_t {
+    auto Hit = PoolIdx.find(Root);
+    if (Hit != PoolIdx.end())
+      return Hit->second;
+    Stack.clear();
+    Stack.emplace_back(Root, 0);
+    while (!Stack.empty()) {
+      auto &[R, NextKid] = Stack.back();
+      if (PoolIdx.count(R)) {
+        Stack.pop_back();
+        continue;
+      }
+      const CandRow &Row = Rows[R];
+      const uint32_t N = Row.KidsEnd - Row.KidsBegin;
+      if (NextKid < N) {
+        const uint32_t Kid = RowKids[Row.KidsBegin + NextKid];
+        ++NextKid;
+        if (!PoolIdx.count(Kid))
+          Stack.emplace_back(Kid, 0);
+        continue;
+      }
+      PoolW.op(Row.Operator);
+      PoolW.u32(N);
+      for (uint32_t I = 0; I < N; ++I)
+        PoolW.u32(PoolIdx.at(RowKids[Row.KidsBegin + I]));
+      PoolIdx.emplace(R, static_cast<uint32_t>(PoolIdx.size()));
+      Stack.pop_back();
+    }
+    return PoolIdx.at(Root);
+  };
   std::vector<std::vector<uint32_t>> RowRefs(Ids.size());
   for (size_t I = 0; I < Ids.size(); ++I)
-    for (const ExtractCandidate &C : Table.at(Ids[I]))
-      RowRefs[I].push_back(poolEmit(C.T, PoolIdx, PoolW));
+    for (const CandRef &C : Table.at(Ids[I]))
+      RowRefs[I].push_back(poolEmit(C.Row));
 
   W.u32(static_cast<uint32_t>(PoolIdx.size()));
   W.str(PoolW.bytes());
   W.u32(static_cast<uint32_t>(Ids.size()));
   for (size_t I = 0; I < Ids.size(); ++I) {
-    const std::vector<ExtractCandidate> &Cands = Table.at(Ids[I]);
+    const std::vector<CandRef> &Cands = Table.at(Ids[I]);
     W.u32(Ids[I]);
     W.u32(static_cast<uint32_t>(Cands.size()));
     for (size_t C = 0; C < Cands.size(); ++C) {
@@ -846,18 +1212,18 @@ std::string KBestExtractor::restoreState(std::string_view Bytes) {
   if (Gen != G.generation())
     return "k-best state generation mismatch";
 
-  // Structure pool: rebuild terms children-first. Child references must
-  // point strictly backwards, which both guarantees acyclicity and lets
-  // one forward pass materialize every term.
+  // Structure pool: decode straight into interned rows, children-first —
+  // no term is materialized. Child references must point strictly
+  // backwards, which both guarantees acyclicity and lets one forward
+  // pass intern every row.
   const uint32_t NumPool = R.u32();
   std::string PoolBytes = R.str();
   if (!R.ok())
     return "truncated k-best pool";
   snapcodec::Reader PR{std::move(PoolBytes)};
-  std::vector<TermPtr> Pool;
-  std::vector<size_t> PoolHash;
-  Pool.reserve(NumPool);
-  PoolHash.reserve(NumPool);
+  std::vector<uint32_t> PoolRow; // pool index -> row id
+  PoolRow.reserve(NumPool);
+  std::vector<uint32_t> KidRows;
   std::vector<size_t> KidHashes;
   for (uint32_t I = 0; I < NumPool; ++I) {
     std::optional<Op> O = PR.op(Err);
@@ -868,18 +1234,17 @@ std::string KBestExtractor::restoreState(std::string_view Bytes) {
     if (!PR.ok() || (Fixed >= 0 && static_cast<uint32_t>(Fixed) != Arity) ||
         !PR.fits(Arity, 4))
       return "k-best pool arity out of range";
-    std::vector<TermPtr> Kids;
-    Kids.reserve(Arity);
+    KidRows.clear();
     KidHashes.clear();
     for (uint32_t A = 0; A < Arity; ++A) {
       const uint32_t Kid = PR.u32();
       if (!PR.ok() || Kid >= I)
         return "k-best pool child reference out of range";
-      Kids.push_back(Pool[Kid]);
-      KidHashes.push_back(PoolHash[Kid]);
+      KidRows.push_back(PoolRow[Kid]);
+      KidHashes.push_back(Rows[PoolRow[Kid]].ValueHash);
     }
-    PoolHash.push_back(termValueHashNode(*O, KidHashes));
-    Pool.push_back(makeTerm(std::move(*O), std::move(Kids)));
+    const size_t VH = termValueHashNode(*O, KidHashes);
+    PoolRow.push_back(internRow(*O, KidRows.data(), KidRows.size(), VH));
   }
   if (!PR.atEnd())
     return "trailing bytes after k-best pool";
@@ -903,14 +1268,14 @@ std::string KBestExtractor::restoreState(std::string_view Bytes) {
     const uint32_t NumCands = R.u32();
     if (!R.ok() || NumCands == 0 || NumCands > K || !R.fits(NumCands, 12))
       return "k-best candidate count out of range";
-    std::vector<ExtractCandidate> Cands;
+    std::vector<CandRef> Cands;
     Cands.reserve(NumCands);
     for (uint32_t C = 0; C < NumCands; ++C) {
       const double Cost = R.f64();
       const uint32_t Ref = R.u32();
-      if (!R.ok() || std::isnan(Cost) || Ref >= Pool.size())
+      if (!R.ok() || std::isnan(Cost) || Ref >= PoolRow.size())
         return "invalid k-best candidate";
-      Cands.push_back({Cost, Pool[Ref], PoolHash[Ref]});
+      Cands.push_back({Cost, PoolRow[Ref]});
     }
     Table.emplace(Id, std::move(Cands));
   }

@@ -135,7 +135,7 @@ public:
 
   /// Rows currently held by the cost table, stale keys included (tests
   /// assert bounded growth across long sessions).
-  size_t tableEntries() const { return Costs.size(); }
+  size_t tableEntries() const { return CostsLive; }
 
   /// Cheapest cost of any term in the class, if one is extractable.
   std::optional<double> bestCost(EClassId Id) const;
@@ -155,9 +155,14 @@ private:
   uint64_t SyncedGen = 0;
   /// Dirty-log lease pinned at SyncedGen (EGraph::acquireDirtyLease).
   uint64_t DirtyLease = 0;
-  // Keyed by canonical class id as of derivation time; superseded keys are
-  // unreachable through find() and simply go stale.
-  std::unordered_map<EClassId, double> Costs;
+  // Dense cost table indexed by class id (+inf = no finite-cost term
+  // derived). nodeCost probes it once per (node, child), which made the
+  // hashed map's find() a measurable slice of extraction profiles.
+  // Entries keyed by superseded ids are unreachable through find() and
+  // simply go stale; CostsLive counts the finite entries (stale
+  // included) so refresh() can tell when a compaction sweep pays.
+  std::vector<double> Costs;
+  size_t CostsLive = 0;
   std::unordered_map<EClassId, ENode> Choices;
   mutable std::unordered_map<EClassId, TermPtr> BuildMemo;
   /// Child-cost scratch reused across relax() calls (one allocation per
@@ -222,6 +227,16 @@ struct ExtractCandidate {
 /// bounded best-first heap over all the class's e-nodes, stopping at the
 /// k-th distinct program. refresh() makes the table incremental across
 /// graph mutations, like Extractor.
+///
+/// Candidates live in a *flat row store*, not as materialized terms: a row
+/// is (operator, child row ids), hashconsed per engine, so a candidate in
+/// the table is just (cost, row id) and row-id equality is structural
+/// equality of candidate programs. Recombination reads and produces row
+/// ids; rows are interned only at the serial commit of each wave (worker
+/// threads never touch the store), and real TermPtrs materialize only in
+/// extract()/saveState(). Row ids are allocated in wave-commit order — a
+/// pure function of the graph — so the table stays bit-identical at every
+/// thread count.
 class KBestExtractor {
 public:
   /// \p NumThreads: engine threads for the wave-scheduled recombination
@@ -266,6 +281,30 @@ public:
   size_t tableEntries() const { return Table.size(); }
 
 private:
+  /// One hashconsed candidate shape: an operator applied to child rows
+  /// (a span into RowKids). ValueHash caches termValueHash of the term
+  /// the row denotes, for O(arity) dedup hashing during recombination.
+  struct CandRow {
+    Op Operator;
+    uint32_t KidsBegin;
+    uint32_t KidsEnd;
+    size_t ValueHash;
+  };
+  /// A candidate program of one class: its cost and interned row.
+  struct CandRef {
+    double Cost;
+    uint32_t Row;
+  };
+  /// A recombination result before its row is interned: produced on
+  /// worker threads (which must not mutate the row store), interned at
+  /// the serial wave commit.
+  struct PendingCand {
+    double Cost;
+    size_t ValueHash;
+    Op Operator;
+    std::vector<uint32_t> Kids;
+  };
+
   const EGraph &G;
   const CostFn &Fn;
   size_t K;
@@ -273,7 +312,26 @@ private:
   Extractor OneBest; ///< processing priority + refresh seed costs
   uint64_t SyncedGen = 0;
   uint64_t DirtyLease = 0; ///< see Extractor::DirtyLease
-  std::unordered_map<EClassId, std::vector<ExtractCandidate>> Table;
+  std::unordered_map<EClassId, std::vector<CandRef>> Table;
+  /// The row store: append-only, immutable once written (worker threads
+  /// read committed rows lock-free during a wave), deduplicated through
+  /// RowIndex so structurally equal candidates share one row id.
+  std::vector<CandRow> Rows;
+  std::vector<uint32_t> RowKids;
+  /// Open-addressed dedup index over Rows: a slot holds (structural hash,
+  /// row id + 1), with 0 meaning empty. The store is append-only — rows
+  /// are never erased — so linear probing needs no tombstones; the table
+  /// doubles at 3/4 occupancy (Rows.size() is exactly the occupancy,
+  /// since every row is inserted here once). Replaces a node-based
+  /// unordered_map whose bucket chases dominated the commit path.
+  struct RowSlot {
+    size_t Hash = 0;
+    uint32_t RowPlus1 = 0;
+  };
+  std::vector<RowSlot> RowIndex;
+  /// Lazy row -> term materializations (extract()/saveState() only).
+  /// Never invalidated: rows are immutable.
+  mutable std::unordered_map<uint32_t, TermPtr> RowTerms;
   /// Created lazily by the first wave large enough to dispatch; graphs
   /// that never produce such a wave never start a thread.
   std::unique_ptr<WorkerPool> Pool;
@@ -283,6 +341,19 @@ private:
   std::string restoreState(std::string_view Bytes);
 
   void deriveFrom(const std::vector<EClassId> &Seeds);
+
+  /// Interns (O, Kids[0..N)) in the row store; \p ValueHash must equal
+  /// termValueHashNode(O, kid value hashes). Serial-only (commit path).
+  uint32_t internRow(const Op &O, const uint32_t *Kids, size_t N,
+                     size_t ValueHash);
+  /// Value-level equality of two rows (the row analogue of
+  /// termApproxEquals at Eps 0). Read-only; safe on worker threads.
+  bool rowValueEq(uint32_t A, uint32_t B) const;
+  /// Recomputes the up-to-k cheapest distinct candidates of \p Id from
+  /// the frozen table. Pure reader of engine state; safe on workers.
+  std::vector<PendingCand> combineClass(EClassId Id) const;
+  /// Builds the term a row denotes (iterative, memoized in RowTerms).
+  TermPtr materializeRow(uint32_t Row) const;
 };
 
 /// Top-k extraction oracle: whole-graph sweeps to a fixed point (the

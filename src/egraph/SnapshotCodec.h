@@ -102,6 +102,10 @@ public:
   bool ok() const { return Ok; }
   bool atEnd() const { return Pos == Buf.size(); }
   size_t remaining() const { return Buf.size() - Pos; }
+  /// Byte offset of the next read. Lets structure-aware fuzzers (the
+  /// snapshot suite's back-reference forger) locate a field they just
+  /// read so they can corrupt it in a copy of the buffer.
+  size_t pos() const { return Pos; }
 
   /// True when \p Count elements of at least \p MinBytes each could
   /// still fit in the unread payload. Every count field is checked this

@@ -60,27 +60,19 @@ std::string CacheKey::hex() const {
 
 namespace {
 
-/// Accumulates a process-stable, value-level fingerprint of \p T:
-/// symbols contribute their *spellings* (termValueHash hashes Symbol
-/// interning ids, which depend on interning order and so differ between
-/// processes sharing a disk cache), and numeric literals contribute
-/// their value across the Int/Float divide (Int 5 == Float 5.0, the
-/// same aliasing termValueHash guarantees in-process). Injective up to
-/// that equivalence: every field is length- or count-prefixed.
-/// \p NumericValues false erases numeric leaf *values* too (each hashes
-/// as the bare shared tag) — the structureTermFingerprint variant.
-void stableTermFingerprintRec(const Term &T, Fnv1a &F, bool NumericValues) {
+/// Accumulates a value-level fingerprint of \p T with numeric leaf
+/// *values* erased (each hashes as the bare shared tag): the
+/// structureTermFingerprint variant. Symbols contribute their spellings
+/// and the stream is length-/count-prefixed, mirroring the per-field
+/// scheme behind termValueHash (which exactTermFingerprint reuses
+/// directly — it is precomputed per node and already process-stable).
+void structureFingerprintRec(const Term &T, Fnv1a &F) {
   const Op &O = T.op();
   switch (O.kind()) {
   case OpKind::Int:
-  case OpKind::Float: {
-    F.u64(uint64_t(1) << 32); // shared numeric tag
-    if (NumericValues) {
-      double V = O.numericValue();
-      F.f64(V == 0.0 ? 0.0 : V); // canonicalize -0.0
-    }
+  case OpKind::Float:
+    F.u64(uint64_t(1) << 32); // shared numeric tag; value erased
     break;
-  }
   case OpKind::Var:
   case OpKind::External:
   case OpKind::PatVar:
@@ -97,24 +89,18 @@ void stableTermFingerprintRec(const Term &T, Fnv1a &F, bool NumericValues) {
   }
   F.u64(T.numChildren());
   for (const TermPtr &Kid : T.children())
-    stableTermFingerprintRec(*Kid, F, NumericValues);
-}
-
-uint64_t stableTermFingerprint(const TermPtr &T) {
-  Fnv1a F;
-  stableTermFingerprintRec(*T, F, /*NumericValues=*/true);
-  return F.hash();
+    structureFingerprintRec(*Kid, F);
 }
 
 } // namespace
 
 uint64_t service::exactTermFingerprint(const TermPtr &T) {
-  return stableTermFingerprint(T);
+  return T->valueHash();
 }
 
 uint64_t service::structureTermFingerprint(const TermPtr &T) {
   Fnv1a F;
-  stableTermFingerprintRec(*T, F, /*NumericValues=*/false);
+  structureFingerprintRec(*T, F);
   return F.hash();
 }
 
@@ -152,7 +138,7 @@ uint64_t service::optionsFingerprint(const SynthesisOptions &Opts) {
 CacheKey service::makeCacheKey(const TermPtr &FlatInput, uint64_t RulesFp,
                                const SynthesisOptions &Opts) {
   CacheKey Key;
-  Key.InputHash = stableTermFingerprint(FlatInput);
+  Key.InputHash = exactTermFingerprint(FlatInput);
   Key.RulesFp = RulesFp;
   Key.OptionsFp = optionsFingerprint(Opts);
   return Key;

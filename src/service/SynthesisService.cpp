@@ -21,6 +21,7 @@
 #include "rewrites/Rules.h"
 #include "scad/ScadParser.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
@@ -81,11 +82,11 @@ bool countNumericEdits(const Term &A, const Term &B, size_t &Edits) {
 SynthesisService::SynthesisService(ServiceConfig Cfg)
     : Cfg(Cfg), Cache(Cfg.CacheDir, Cfg.CacheLimits),
       RulesFp(ruleDatabaseFingerprint(pipelineRules())) {
+  unsigned HW = std::thread::hardware_concurrency();
+  HardwareThreads = HW ? HW : 1;
   size_t N = Cfg.NumWorkers;
-  if (N == 0) {
-    unsigned HW = std::thread::hardware_concurrency();
-    N = HW ? HW : 1;
-  }
+  if (N == 0)
+    N = HardwareThreads;
   Workers.reserve(N);
   for (size_t I = 0; I < N; ++I)
     Workers.emplace_back([this] { workerLoop(); });
@@ -160,9 +161,15 @@ bool SynthesisService::cancel(JobId Id) {
 void SynthesisService::workerLoop() {
   for (;;) {
     Job *J = nullptr;
+    size_t ThreadBudget = 1;
     {
       std::unique_lock<std::mutex> Lock(M);
-      WorkCV.wait(Lock, [&] { return Stopping || !Queue.empty(); });
+      // Admission control: never run more jobs at once than the machine
+      // has hardware threads — a pool sized past the machine would
+      // otherwise oversubscribe it and run slower than one worker.
+      WorkCV.wait(Lock, [&] {
+        return Stopping || (!Queue.empty() && RunningJobs < HardwareThreads);
+      });
       if (Stopping)
         return;
       JobId Id = Queue.front();
@@ -177,19 +184,23 @@ void SynthesisService::workerLoop() {
         DoneCV.notify_all();
         continue;
       }
+      ++RunningJobs;
+      ThreadBudget = std::max<size_t>(1, HardwareThreads / RunningJobs);
     }
     const auto RunStart = Clock::now();
-    runJob(*J);
+    runJob(*J, ThreadBudget);
     {
       std::lock_guard<std::mutex> Lock(M);
+      --RunningJobs;
       J->Outcome.RunSec = secondsBetween(RunStart, Clock::now());
       J->State = JobState::Done;
     }
+    WorkCV.notify_one(); // a slot freed up: admit the next queued job
     DoneCV.notify_all();
   }
 }
 
-void SynthesisService::runJob(Job &J) {
+void SynthesisService::runJob(Job &J, size_t ThreadBudget) {
   JobOutcome &Out = J.Outcome;
 
   // --- Resolve the input to flat CSG ----------------------------------
@@ -229,10 +240,15 @@ void SynthesisService::runJob(Job &J) {
     return;
   }
 
-  // --- Options: thread override, cancellation token -------------------
+  // --- Options: thread budget, cancellation token ----------------------
+  // A forced ServiceConfig count wins; otherwise a job that pinned its
+  // own NumThreads keeps it and everything else gets the admission-time
+  // budget. NumThreads never changes results, only wall clock.
   SynthesisOptions Opts = J.Spec.Options;
   if (Cfg.JobNumThreads != 0)
     Opts.Limits.NumThreads = Cfg.JobNumThreads;
+  else if (Opts.Limits.NumThreads == 0)
+    Opts.Limits.NumThreads = ThreadBudget;
 
   // --- Result cache ----------------------------------------------------
   // The key is computed before the token is attached: cancellation state

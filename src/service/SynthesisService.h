@@ -27,11 +27,13 @@
 ///
 /// Concurrency contract: each job's synthesis is a pure function of its
 /// input and options (the engines share no mutable state across jobs, and
-/// the symbol interner is thread-safe), so N jobs on K workers produce
-/// outputs byte-identical to the same jobs run one at a time — the
-/// scheduler only changes wall-clock, never results. Worker threads run
-/// jobs with Runner-internal threading forced to 1 by default
-/// (ServiceConfig::JobNumThreads): the pool is the parallelism.
+/// the symbol and term interners are thread-safe), so N jobs on K workers
+/// produce outputs byte-identical to the same jobs run one at a time — the
+/// scheduler only changes wall-clock, never results. The scheduler never
+/// oversubscribes the machine: at most hardware_concurrency jobs run at
+/// once (extra workers idle), and each admitted job that has not pinned
+/// its own RunnerLimits::NumThreads gets a thread budget of
+/// max(1, hardware threads / jobs currently running).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -60,11 +62,13 @@ struct ServiceConfig {
   /// Result-cache retention budgets (ResultCache::Limits); all zero by
   /// default, i.e. unbounded, matching the pre-budget behavior.
   ResultCache::Limits CacheLimits;
-  /// Override for each job's RunnerLimits::NumThreads. The default of 1
-  /// keeps worker_count == thread_count (results are bit-identical at any
-  /// setting, so this is purely a scheduling choice); 0 = leave the
-  /// job's own value untouched.
-  size_t JobNumThreads = 1;
+  /// Override for each job's RunnerLimits::NumThreads. The default of 0
+  /// budgets automatically: a job that pinned its own NumThreads keeps
+  /// it, and every other job gets max(1, hardware threads / jobs
+  /// currently running) when a worker picks it up. Any nonzero value
+  /// forces that thread count on every job. Results are bit-identical at
+  /// any setting, so this is purely a scheduling choice.
+  size_t JobNumThreads = 0;
   /// Master switch for the snapshot tier: successful single-round jobs
   /// capture their post-saturation pipeline state, and near-miss requests
   /// (same input with deeper fuel, a different cost function, or a small
@@ -166,11 +170,15 @@ private:
   std::unordered_map<JobId, std::unique_ptr<Job>> Jobs;
   JobId NextId = 1;
   bool Stopping = false;
+  size_t HardwareThreads = 1; ///< hardware_concurrency, floored at 1
+  size_t RunningJobs = 0;     ///< jobs a worker is executing right now
   std::vector<std::thread> Workers;
 
   void workerLoop();
-  /// Runs \p J outside the lock; fills J.Outcome.
-  void runJob(Job &J);
+  /// Runs \p J outside the lock; fills J.Outcome. \p ThreadBudget is the
+  /// admission-time value of max(1, hardware threads / running jobs),
+  /// applied unless the job pinned NumThreads (or Cfg forces a count).
+  void runJob(Job &J, size_t ThreadBudget);
 };
 
 } // namespace service

@@ -16,7 +16,7 @@
 #include <cassert>
 #include <cmath>
 #include <set>
-#include <unordered_map>
+#include <unordered_set>
 
 using namespace shrinkray;
 
@@ -46,23 +46,17 @@ SequenceProfile shrinkray::sequenceProfile(const std::vector<double> &Ys) {
 
 namespace {
 
-/// A per-spine multiset of already-seen operands, hash-bucketed with exact
-/// structural comparison on collision.
+/// A per-spine set of already-seen operands. Terms are interned, so
+/// structural equality is pointer identity; holding TermPtr keys keeps the
+/// operands alive (no address reuse while the set is in scope).
 class SeenOperands {
 public:
   /// Returns true when an equal term was already recorded; records it
   /// otherwise.
-  bool seenOrRecord(const TermPtr &T) {
-    std::vector<TermPtr> &Bucket = Buckets[termValueHash(T)];
-    for (const TermPtr &Existing : Bucket)
-      if (termEquals(Existing, T))
-        return true;
-    Bucket.push_back(T);
-    return false;
-  }
+  bool seenOrRecord(const TermPtr &T) { return !Seen.insert(T).second; }
 
 private:
-  std::unordered_map<size_t, std::vector<TermPtr>> Buckets;
+  std::unordered_set<TermPtr> Seen;
 };
 
 TermPtr canonTerm(const TermPtr &T);

@@ -32,6 +32,20 @@ template <typename... Ts> size_t hashAll(const Ts &...Values) {
   return Seed;
 }
 
+/// Finalizing 64-bit avalanche (splitmix64's mixer): every input bit
+/// affects every output bit. Pure arithmetic — stable across processes
+/// and platforms, unlike std::hash — so it is safe in hashes that feed
+/// on-disk cache keys. Used word-wise where the byte-wise Fnv1a below
+/// would be too slow (per-node value hashing in the term interner).
+inline uint64_t mix64(uint64_t X) {
+  X ^= X >> 30;
+  X *= 0xbf58476d1ce4e5b9ull;
+  X ^= X >> 27;
+  X *= 0x94d049bb133111ebull;
+  X ^= X >> 31;
+  return X;
+}
+
 /// Bit-exact hash of a double. Canonicalizes -0.0 to +0.0 so that values that
 /// compare equal hash equal; NaN payloads are hashed as-is (NaNs never enter
 /// the e-graph, enforced by assertions at construction).

@@ -1,0 +1,287 @@
+//===-- tests/intern_test.cpp - Hashconsed term interner ------------------===//
+//
+// Coverage for the term interner behind makeTerm:
+//
+//  * pointer identity <=> structural equality, differentially against the
+//    pre-interning recursive walker on every distinct subterm of the
+//    16-model corpus (printer round-trips and bottom-up rebuilds must
+//    land on the very same node);
+//  * adversarial respellings: Int 5 vs Float 5.0 are distinct nodes that
+//    share a value hash, and Float -0.0 *is* Float 0.0;
+//  * the metadata precomputed at construction (hash / valueHash / size /
+//    depth / primitives / containsLoop) against freshly recomputed
+//    walker oracles, on the corpus and on loopy programs;
+//  * a multi-threaded intern storm: concurrent builders of one term
+//    family all receive pointer-identical nodes while unrelated
+//    transient terms are created and retired (the suite runs under both
+//    ASan and TSan in CI, so this doubles as the deleter race check).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cad/Sexp.h"
+#include "models/Models.h"
+#include "support/Hashing.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <unordered_map>
+
+using namespace shrinkray;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Walker oracles: the pre-interning recursive definitions, kept here so
+// the O(1) precomputed answers are checked against first principles.
+//===----------------------------------------------------------------------===//
+
+bool walkerEquals(const TermPtr &A, const TermPtr &B) {
+  if (A->op() != B->op() || A->numChildren() != B->numChildren())
+    return false;
+  for (size_t I = 0; I < A->numChildren(); ++I)
+    if (!walkerEquals(A->child(I), B->child(I)))
+      return false;
+  return true;
+}
+
+size_t walkerHash(const TermPtr &T) {
+  size_t H = T->op().hash();
+  for (const TermPtr &Kid : T->children())
+    hashCombine(H, walkerHash(Kid));
+  // makeTerm avalanches the combined hash before storing it (the intern
+  // shards probe with the low bits and shard by the high bits, so
+  // near-sequential leaf hashes must be scattered first).
+  return static_cast<size_t>(mix64(H));
+}
+
+size_t walkerValueHash(const TermPtr &T) {
+  std::vector<size_t> KidHashes;
+  KidHashes.reserve(T->numChildren());
+  for (const TermPtr &Kid : T->children())
+    KidHashes.push_back(walkerValueHash(Kid));
+  return termValueHashNode(T->op(), KidHashes);
+}
+
+uint64_t walkerSize(const TermPtr &T) {
+  uint64_t N = 1;
+  for (const TermPtr &Kid : T->children())
+    N += walkerSize(Kid);
+  return N;
+}
+
+uint64_t walkerDepth(const TermPtr &T) {
+  uint64_t D = 0;
+  for (const TermPtr &Kid : T->children())
+    D = std::max(D, walkerDepth(Kid));
+  return D + 1;
+}
+
+uint64_t walkerPrimitives(const TermPtr &T) {
+  OpKind K = T->kind();
+  uint64_t N = ((isPrimitiveOp(K) && K != OpKind::Empty) ||
+                K == OpKind::External)
+                   ? 1
+                   : 0;
+  for (const TermPtr &Kid : T->children())
+    N += walkerPrimitives(Kid);
+  return N;
+}
+
+bool walkerContainsLoop(const TermPtr &T) {
+  OpKind K = T->kind();
+  if (K == OpKind::Fold || K == OpKind::Map || K == OpKind::Mapi ||
+      K == OpKind::Repeat || K == OpKind::Fun)
+    return true;
+  for (const TermPtr &Kid : T->children())
+    if (walkerContainsLoop(Kid))
+      return true;
+  return false;
+}
+
+/// Every distinct subterm of \p T, keyed by node address (with interning,
+/// distinct address == distinct structure; the tests verify exactly that).
+void collectSubterms(const TermPtr &T,
+                     std::unordered_map<const Term *, TermPtr> &Seen) {
+  if (!Seen.emplace(T.get(), T).second)
+    return;
+  for (const TermPtr &Kid : T->children())
+    collectSubterms(Kid, Seen);
+}
+
+std::vector<TermPtr> corpusSubterms() {
+  std::unordered_map<const Term *, TermPtr> Seen;
+  for (const models::BenchmarkModel &M : models::allModels())
+    collectSubterms(M.FlatCsg, Seen);
+  std::vector<TermPtr> Out;
+  Out.reserve(Seen.size());
+  for (auto &[Raw, T] : Seen)
+    Out.push_back(T);
+  return Out;
+}
+
+/// Rebuilds \p T bottom-up through makeTerm — with interning this must
+/// return the identical node, having taken the intern-hit path at every
+/// level.
+TermPtr rebuild(const TermPtr &T) {
+  std::vector<TermPtr> Kids;
+  Kids.reserve(T->numChildren());
+  for (const TermPtr &Kid : T->children())
+    Kids.push_back(rebuild(Kid));
+  return makeTerm(T->op(), std::move(Kids));
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Pointer identity <=> structural equality
+//===----------------------------------------------------------------------===//
+
+TEST(InternTest, CorpusRoundTripsLandOnTheSameNode) {
+  for (const models::BenchmarkModel &M : models::allModels()) {
+    const std::string S = printSexp(M.FlatCsg);
+    ParseResult A = parseSexp(S);
+    ParseResult B = parseSexp(S);
+    ASSERT_TRUE(A && B) << M.Name;
+    EXPECT_EQ(A.Value.get(), M.FlatCsg.get()) << M.Name;
+    EXPECT_EQ(A.Value.get(), B.Value.get()) << M.Name;
+    EXPECT_TRUE(termEquals(A.Value, M.FlatCsg)) << M.Name;
+  }
+}
+
+TEST(InternTest, PointerIdentityMatchesTheStructuralWalker) {
+  const std::vector<TermPtr> Subs = corpusSubterms();
+  ASSERT_FALSE(Subs.empty());
+
+  // Distinct nodes must be walker-unequal. Checking full cross products
+  // is quadratic in thousands of nodes, so check where a broken interner
+  // would actually hide: nodes sharing a structural-hash bucket.
+  std::unordered_map<size_t, std::vector<TermPtr>> ByHash;
+  for (const TermPtr &T : Subs)
+    ByHash[T->hash()].push_back(T);
+  for (const auto &[H, Bucket] : ByHash)
+    for (size_t I = 0; I < Bucket.size(); ++I)
+      for (size_t J = I + 1; J < Bucket.size(); ++J)
+        EXPECT_FALSE(walkerEquals(Bucket[I], Bucket[J]))
+            << printSexp(Bucket[I]);
+
+  // And every bottom-up rebuild is walker-equal *and* pointer-equal.
+  for (const TermPtr &T : Subs) {
+    TermPtr Copy = rebuild(T);
+    EXPECT_TRUE(walkerEquals(Copy, T));
+    EXPECT_EQ(Copy.get(), T.get()) << printSexp(T);
+  }
+}
+
+TEST(InternTest, AdversarialRespellingsShareValueHashOnly) {
+  // Int 5 and Float 5.0 are structurally different programs...
+  TermPtr I5 = tInt(5);
+  TermPtr F5 = tFloat(5.0);
+  EXPECT_NE(I5.get(), F5.get());
+  EXPECT_FALSE(termEquals(I5, F5));
+  EXPECT_FALSE(walkerEquals(I5, F5));
+  // ...but one value: they share the value hash and compare approx-equal
+  // even at epsilon 0.
+  EXPECT_EQ(termValueHash(I5), termValueHash(F5));
+  EXPECT_TRUE(termApproxEquals(I5, F5, 0.0));
+
+  // -0.0 and +0.0 are the *same* Float operator (exact == on the
+  // payload), so the interner must land both spellings on one node, and
+  // the value hash folds the zeros across the Int divide too.
+  EXPECT_EQ(tFloat(-0.0).get(), tFloat(0.0).get());
+  EXPECT_EQ(termValueHash(tFloat(-0.0)), termValueHash(tInt(0)));
+
+  // Whole-tree respelling, through the parser like real inputs.
+  ParseResult IntSpelling = parseSexp("(Translate (Vec3 1 2 3) Unit)");
+  ParseResult FloatSpelling =
+      parseSexp("(Translate (Vec3 1.0 2.0 3.0) Unit)");
+  ASSERT_TRUE(IntSpelling && FloatSpelling);
+  EXPECT_NE(IntSpelling.Value.get(), FloatSpelling.Value.get());
+  EXPECT_FALSE(walkerEquals(IntSpelling.Value, FloatSpelling.Value));
+  EXPECT_EQ(termValueHash(IntSpelling.Value),
+            termValueHash(FloatSpelling.Value));
+  EXPECT_TRUE(termApproxEquals(IntSpelling.Value, FloatSpelling.Value, 0.0));
+}
+
+//===----------------------------------------------------------------------===//
+// Precomputed metadata
+//===----------------------------------------------------------------------===//
+
+TEST(InternTest, PrecomputedMetadataMatchesRecomputedOracles) {
+  std::vector<TermPtr> Subs = corpusSubterms();
+  // The flat corpus never exercises the loop combinators; add a looped
+  // program so containsLoop and the loop-aware metrics get real coverage.
+  ParseResult Loopy = parseSexp(
+      "(Fold Union Empty (Cons (Translate (Vec3 2 0 0) Unit) "
+      "(Cons (Translate (Vec3 4 0 0) Unit) Nil)))");
+  ASSERT_TRUE(Loopy);
+  std::unordered_map<const Term *, TermPtr> Seen;
+  collectSubterms(Loopy.Value, Seen);
+  for (auto &[Raw, T] : Seen)
+    Subs.push_back(T);
+
+  for (const TermPtr &T : Subs) {
+    EXPECT_EQ(T->hash(), walkerHash(T)) << printSexp(T);
+    EXPECT_EQ(T->valueHash(), walkerValueHash(T)) << printSexp(T);
+    EXPECT_EQ(T->size(), walkerSize(T)) << printSexp(T);
+    EXPECT_EQ(T->depth(), walkerDepth(T)) << printSexp(T);
+    EXPECT_EQ(T->primitives(), walkerPrimitives(T)) << printSexp(T);
+    EXPECT_EQ(T->containsLoop(), walkerContainsLoop(T)) << printSexp(T);
+  }
+}
+
+TEST(InternTest, StatsCountHitsAndLiveNodes) {
+  const TermInternStats Before = termInternStats();
+  TermPtr A = tTranslate(12345.0, 678.0, 9.0, tUnit());
+  TermPtr B = tTranslate(12345.0, 678.0, 9.0, tUnit());
+  const TermInternStats After = termInternStats();
+  EXPECT_EQ(A.get(), B.get());
+  EXPECT_GT(After.Hits, Before.Hits);
+  EXPECT_GE(After.Unique, Before.Unique);
+  EXPECT_GT(After.Live, 0u);
+  EXPECT_GE(After.hitRate(), 0.0);
+  EXPECT_LE(After.hitRate(), 1.0);
+
+  // Dropping the only handles retires the chain (Translate, Vec3, the
+  // distinctive floats) from the table.
+  A.reset();
+  B.reset();
+  EXPECT_LT(termInternStats().Live, After.Live);
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrency
+//===----------------------------------------------------------------------===//
+
+TEST(InternTest, InternStormManyThreadsAgree) {
+  constexpr size_t Threads = 8, N = 400;
+  // Every thread builds the same deterministic family while also creating
+  // and immediately dropping thread-unique transients — lookups, inserts,
+  // and deleter erases all race on the same shards.
+  std::vector<std::vector<TermPtr>> Built(Threads);
+  {
+    std::vector<std::thread> Pool;
+    Pool.reserve(Threads);
+    for (size_t T = 0; T < Threads; ++T)
+      Pool.emplace_back([&Built, T] {
+        std::vector<TermPtr> Keep;
+        Keep.reserve(N);
+        for (size_t I = 0; I < N; ++I) {
+          Keep.push_back(tUnion(
+              tTranslate(static_cast<double>(I % 40), 0.0, 0.0, tUnit()),
+              tInt(static_cast<int64_t>(I % 7))));
+          // Transient: unique to (thread, iteration), dies immediately.
+          tTranslate(static_cast<double>(I) + 0.5,
+                     static_cast<double>(T) + 0.25, 0.0, tUnit());
+        }
+        Built[T] = std::move(Keep);
+      });
+    for (std::thread &Th : Pool)
+      Th.join();
+  }
+  for (size_t T = 1; T < Threads; ++T) {
+    ASSERT_EQ(Built[T].size(), Built[0].size());
+    for (size_t I = 0; I < Built[T].size(); ++I)
+      EXPECT_EQ(Built[T][I].get(), Built[0][I].get());
+  }
+}

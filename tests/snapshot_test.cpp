@@ -19,6 +19,7 @@
 #include "cad/Sexp.h"
 #include "egraph/Extract.h"
 #include "egraph/Runner.h"
+#include "egraph/SnapshotCodec.h"
 #include "models/Models.h"
 #include "rewrites/Rules.h"
 #include "service/ResultCache.h"
@@ -431,6 +432,85 @@ TEST(SnapshotEntryFuzz, ResealedGraphMutationsRejectedByInnerDecoder) {
     std::istringstream Is(Out.Graph);
     EXPECT_NE(R.deserialize(Is), "") << "graph flip at " << Pos;
     EXPECT_EQ(R.numClasses(), 0u);
+  }
+}
+
+// The k-best extract state encodes candidate structures as a pool of
+// back-referencing nodes: children strictly before parents, so one
+// forward pass re-interns every row and acyclicity is a decode-time
+// invariant rather than a runtime check. This forger walks the real
+// blob's pool, then rewrites every back-reference field to each boundary
+// it must not cross — the node itself (a cycle), one past the pool, and
+// the maximum encodable index — and every arity field to a huge count.
+// Each forgery must be rejected with its structural diagnostic, never a
+// crash, hang, or wild allocation. (Bit-flip sweeps cannot pin this
+// down: a flipped reference that still points backwards decodes into a
+// *different valid* pool, which is exactly why the field-aware sweep
+// exists.)
+TEST(SnapshotEntryFuzz, ForgedPoolBackReferencesRejected) {
+  service::SnapshotEntry Plain;
+  realEntryBlob(&Plain);
+  EGraph G;
+  {
+    std::istringstream Is(Plain.Graph);
+    ASSERT_EQ(G.deserialize(Is), "");
+  }
+  static const AstSizeCost Cost;
+  std::string Err;
+  ASSERT_NE(KBestExtractor::restore(G, Cost, 3, 1, Plain.Extract, Err),
+            nullptr)
+      << Err;
+
+  // Walk the blob to the structure pool, recording the byte offset
+  // (within the whole blob) of every arity and child-reference field.
+  snapcodec::Reader R{Plain.Extract};
+  R.u32();                            // format version
+  R.u64();                            // k
+  R.str();                            // one-best sub-blob
+  R.u64();                            // generation
+  const uint32_t NumPool = R.u32();
+  const size_t PoolStart = R.pos() + 4; // str(): u32 length, then bytes
+  const std::string PoolBytes = R.str();
+  ASSERT_TRUE(R.ok());
+  ASSERT_GT(NumPool, 1u); // candidates are nested, so back-refs exist
+
+  snapcodec::Reader PR{PoolBytes};
+  std::vector<size_t> ArityOffsets;
+  std::vector<std::pair<size_t, uint32_t>> RefFields; // offset, entry idx
+  std::string OpErr;
+  for (uint32_t I = 0; I < NumPool; ++I) {
+    ASSERT_TRUE(PR.op(OpErr).has_value()) << OpErr;
+    ArityOffsets.push_back(PoolStart + PR.pos());
+    const uint32_t Arity = PR.u32();
+    for (uint32_t A = 0; A < Arity; ++A) {
+      RefFields.emplace_back(PoolStart + PR.pos(), I);
+      PR.u32();
+    }
+    ASSERT_TRUE(PR.ok());
+  }
+  ASSERT_FALSE(RefFields.empty());
+
+  auto Patched = [&](size_t Offset, uint32_t V) {
+    std::string Bad = Plain.Extract;
+    std::memcpy(&Bad[Offset], &V, sizeof V);
+    return Bad;
+  };
+  for (const auto &[Offset, Entry] : RefFields)
+    for (const uint32_t Forged : {Entry, NumPool, 0xffffffffu}) {
+      std::string E2;
+      EXPECT_EQ(KBestExtractor::restore(G, Cost, 3, 1,
+                                        Patched(Offset, Forged), E2),
+                nullptr)
+          << "accepted forged ref " << Forged << " at byte " << Offset;
+      EXPECT_EQ(E2, "k-best pool child reference out of range");
+    }
+  for (const size_t Offset : ArityOffsets) {
+    std::string E2;
+    EXPECT_EQ(KBestExtractor::restore(G, Cost, 3, 1,
+                                      Patched(Offset, 0xffffffffu), E2),
+              nullptr)
+        << "accepted forged arity at byte " << Offset;
+    EXPECT_EQ(E2, "k-best pool arity out of range");
   }
 }
 
