@@ -1,0 +1,56 @@
+// Reference capture: programs + raw cost bits + ranks for all 16 bench
+// models at 1/2/4 threads, cold and warm (same-input snapshot restore).
+// Built standalone against libshrinkray.a; output diffed across refactors.
+#include "cad/Sexp.h"
+#include "models/Models.h"
+#include "synth/Synthesizer.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+using namespace shrinkray;
+using namespace shrinkray::models;
+
+static uint64_t bits(double D) {
+  uint64_t U;
+  std::memcpy(&U, &D, sizeof(U));
+  return U;
+}
+
+static void dump(const char *Model, size_t Threads, const char *Mode,
+                 const SynthesisResult &R) {
+  std::printf("## %s threads=%zu %s rank=%zu n=%zu\n", Model, Threads, Mode,
+              R.structureRank(), R.Programs.size());
+  for (size_t I = 0; I < R.Programs.size(); ++I)
+    std::printf("%zu cost=%016" PRIx64 " %s\n", I + 1,
+                bits(R.Programs[I].Cost), printSexp(R.Programs[I].T).c_str());
+}
+
+int main() {
+  for (const BenchmarkModel &M : allModels()) {
+    for (size_t Threads : {size_t(1), size_t(2), size_t(4)}) {
+      SynthesisOptions Opts;
+      Opts.Limits.NumThreads = Threads;
+      Opts.CaptureSnapshot = true;
+      Synthesizer S(Opts);
+      SynthesisResult Cold = S.synthesize(M.FlatCsg);
+      dump(M.Name.c_str(), Threads, "cold", Cold);
+      if (Cold.Snapshot.Present) {
+        WarmStart W;
+        W.Graph = Cold.Snapshot.Graph;
+        W.Cursors = Cold.Snapshot.Cursors;
+        W.Extract = Cold.Snapshot.Extract;
+        W.ExtractUsable = true;
+        W.SameInput = true;
+        SynthesisResult Warm = S.synthesizeWarm(M.FlatCsg, W);
+        std::printf("warm_aborted=%d\n", Warm.Stats.WarmStartAborted ? 1 : 0);
+        dump(M.Name.c_str(), Threads, "warm", Warm);
+      } else {
+        std::printf("## %s threads=%zu no-snapshot\n", M.Name.c_str(),
+                    Threads);
+      }
+    }
+  }
+  return 0;
+}
