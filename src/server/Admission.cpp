@@ -1,0 +1,68 @@
+//===-- server/Admission.cpp - Quotas and per-client accounting -----------===//
+//
+// Part of the ShrinkRay reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Admission.h"
+
+using namespace shrinkray;
+using namespace shrinkray::server;
+
+AdmissionController::Entry &
+AdmissionController::touchLocked(const std::string &Client, double NowSec) {
+  auto It = Index.find(Client);
+  if (It != Index.end()) {
+    Lru.splice(Lru.begin(), Lru, It->second);
+    return Lru.front().second;
+  }
+  Entry E{TokenBucket(Quota, NowSec), ClientStats{Client, 0, 0, 0}};
+  Lru.emplace_front(Client, std::move(E));
+  Index[Client] = Lru.begin();
+  while (Lru.size() > MaxClients) {
+    Index.erase(Lru.back().first);
+    Lru.pop_back();
+  }
+  return Lru.front().second;
+}
+
+AdmissionController::Decision
+AdmissionController::admitSubmit(const std::string &Client, double NowSec) {
+  std::lock_guard<std::mutex> Lock(M);
+  Entry &E = touchLocked(Client, NowSec);
+  Decision D;
+  if (E.Bucket.tryTake(NowSec)) {
+    D.Admitted = true;
+    ++E.Stats.Submitted;
+  } else {
+    D.Admitted = false;
+    D.RetryAfterSec = E.Bucket.retryAfterSec(NowSec);
+    ++E.Stats.RejectedQuota;
+  }
+  return D;
+}
+
+void AdmissionController::noteQueueFull(const std::string &Client,
+                                        double NowSec) {
+  std::lock_guard<std::mutex> Lock(M);
+  Entry &E = touchLocked(Client, NowSec);
+  // The submit was counted as admitted; reclassify it as a queue-full
+  // refusal so per-client totals stay truthful.
+  if (E.Stats.Submitted > 0)
+    --E.Stats.Submitted;
+  ++E.Stats.RejectedQueueFull;
+}
+
+std::vector<ClientStats> AdmissionController::clientStats() const {
+  std::lock_guard<std::mutex> Lock(M);
+  std::vector<ClientStats> Out;
+  Out.reserve(Lru.size());
+  for (const auto &P : Lru)
+    Out.push_back(P.second.Stats);
+  return Out;
+}
+
+size_t AdmissionController::numClients() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Lru.size();
+}

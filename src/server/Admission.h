@@ -1,0 +1,155 @@
+//===-- server/Admission.h - Quotas and per-client accounting ---*- C++ -*-===//
+//
+// Part of the ShrinkRay reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-client token-bucket quotas and the per-client counters the stats
+/// op reports. Time is passed in by the caller as monotonic seconds
+/// (the server uses steady_clock; tests drive a synthetic clock), so the
+/// bucket math is deterministic and unit-testable.
+///
+/// Admission of a submit is a two-gate decision:
+///
+///   1. quota   — the client's token bucket (this module). Over-quota
+///                requests are rejected with "quota" and a retry_after
+///                derived from the refill rate; they never reach the
+///                service.
+///   2. backlog — SynthesisService::trySubmit's bounded queue. A full
+///                queue rejects with "queue_full"; in-flight jobs are
+///                unaffected (backpressure, not load shedding).
+///
+/// The registry is bounded: at most MaxClients buckets live at once,
+/// evicted least-recently-seen — a peer cycling through fresh client ids
+/// can churn the table but never grow the process.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHRINKRAY_SERVER_ADMISSION_H
+#define SHRINKRAY_SERVER_ADMISSION_H
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace shrinkray {
+namespace server {
+
+/// Token-bucket parameters shared by every client of a server. Capacity
+/// 0 disables quotas entirely (every admit passes).
+struct QuotaConfig {
+  double Capacity = 0.0;     ///< burst size, in requests
+  double RefillPerSec = 0.0; ///< sustained requests/sec
+};
+
+/// One client's bucket. Starts full; tryTake spends one token, refilling
+/// first from the elapsed time. All methods take "now" in seconds on any
+/// monotonic scale (only differences matter).
+class TokenBucket {
+public:
+  TokenBucket(const QuotaConfig &Cfg, double NowSec)
+      : Cfg(Cfg), Tokens(Cfg.Capacity), LastSec(NowSec) {}
+
+  /// Spends one token if available. Capacity 0 = unlimited.
+  bool tryTake(double NowSec) {
+    if (Cfg.Capacity <= 0.0)
+      return true;
+    refill(NowSec);
+    if (Tokens < 1.0)
+      return false;
+    Tokens -= 1.0;
+    return true;
+  }
+
+  /// Seconds until one full token is back at the configured refill rate
+  /// (0 when a token is already available or refill is disabled).
+  double retryAfterSec(double NowSec) {
+    if (Cfg.Capacity <= 0.0)
+      return 0.0;
+    refill(NowSec);
+    if (Tokens >= 1.0 || Cfg.RefillPerSec <= 0.0)
+      return 0.0;
+    return (1.0 - Tokens) / Cfg.RefillPerSec;
+  }
+
+  double tokens(double NowSec) {
+    refill(NowSec);
+    return Tokens;
+  }
+
+private:
+  void refill(double NowSec) {
+    if (NowSec > LastSec && Cfg.RefillPerSec > 0.0) {
+      Tokens += (NowSec - LastSec) * Cfg.RefillPerSec;
+      if (Tokens > Cfg.Capacity)
+        Tokens = Cfg.Capacity;
+    }
+    LastSec = NowSec;
+  }
+
+  QuotaConfig Cfg;
+  double Tokens;
+  double LastSec;
+};
+
+/// Per-client counters surfaced by the stats op.
+struct ClientStats {
+  std::string Client;
+  uint64_t Submitted = 0;
+  uint64_t RejectedQuota = 0;
+  uint64_t RejectedQueueFull = 0;
+};
+
+/// The admission gate's quota half plus per-client accounting. All
+/// methods are thread-safe (one mutex; every operation is O(1) expected
+/// plus an O(1) LRU splice).
+class AdmissionController {
+public:
+  struct Decision {
+    bool Admitted = false;
+    double RetryAfterSec = 0.0;
+  };
+
+  explicit AdmissionController(QuotaConfig Quota, size_t MaxClients = 4096)
+      : Quota(Quota), MaxClients(MaxClients ? MaxClients : 1) {}
+
+  /// Quota gate for one submit from \p Client. Counts the attempt either
+  /// way; a refusal carries the bucket's retry-after hint.
+  Decision admitSubmit(const std::string &Client, double NowSec);
+
+  /// Records that the service's bounded queue refused \p Client's
+  /// admitted submit (the token is deliberately *not* refunded — a
+  /// client hammering a full queue still drains its quota).
+  void noteQueueFull(const std::string &Client, double NowSec);
+
+  /// Snapshot of every live client's counters, most recently seen first.
+  std::vector<ClientStats> clientStats() const;
+
+  size_t numClients() const;
+
+private:
+  struct Entry {
+    TokenBucket Bucket;
+    ClientStats Stats;
+  };
+  using LruList = std::list<std::pair<std::string, Entry>>;
+
+  /// Finds or creates \p Client's entry, moves it to the LRU front, and
+  /// evicts the tail past MaxClients. Call with the lock held.
+  Entry &touchLocked(const std::string &Client, double NowSec);
+
+  QuotaConfig Quota;
+  size_t MaxClients;
+  mutable std::mutex M;
+  LruList Lru; ///< front = most recently seen
+  std::unordered_map<std::string, LruList::iterator> Index;
+};
+
+} // namespace server
+} // namespace shrinkray
+
+#endif // SHRINKRAY_SERVER_ADMISSION_H

@@ -1,0 +1,263 @@
+//===-- server/Client.cpp - JSONL RPC client connection -------------------===//
+//
+// Part of the ShrinkRay reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Client.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace shrinkray;
+using namespace shrinkray::server;
+
+ClientConnection::~ClientConnection() { close(); }
+
+ClientConnection::ClientConnection(ClientConnection &&O) noexcept
+    : Fd(O.Fd), Buf(std::move(O.Buf)) {
+  O.Fd = -1;
+}
+
+ClientConnection &ClientConnection::operator=(ClientConnection &&O) noexcept {
+  if (this != &O) {
+    close();
+    Fd = O.Fd;
+    Buf = std::move(O.Buf);
+    O.Fd = -1;
+  }
+  return *this;
+}
+
+void ClientConnection::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+  Buf.clear();
+}
+
+bool ClientConnection::connect(const std::string &Host, uint16_t Port,
+                               std::string &Error) {
+  close();
+  struct addrinfo Hints;
+  std::memset(&Hints, 0, sizeof(Hints));
+  Hints.ai_family = AF_INET;
+  Hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo *Res = nullptr;
+  int GE = ::getaddrinfo(Host.c_str(), std::to_string(Port).c_str(), &Hints,
+                         &Res);
+  if (GE != 0 || !Res) {
+    Error = "resolve " + Host + ": " + ::gai_strerror(GE);
+    return false;
+  }
+  int NewFd = -1;
+  for (struct addrinfo *A = Res; A; A = A->ai_next) {
+    NewFd = ::socket(A->ai_family, A->ai_socktype, A->ai_protocol);
+    if (NewFd < 0)
+      continue;
+    if (::connect(NewFd, A->ai_addr, A->ai_addrlen) == 0)
+      break;
+    ::close(NewFd);
+    NewFd = -1;
+  }
+  ::freeaddrinfo(Res);
+  if (NewFd < 0) {
+    Error = "connect " + Host + ":" + std::to_string(Port) + ": " +
+            std::strerror(errno);
+    return false;
+  }
+  Fd = NewFd;
+  return true;
+}
+
+bool ClientConnection::sendLine(const std::string &Line, std::string &Error) {
+  std::string Frame = Line + "\n";
+  const char *P = Frame.data();
+  size_t Left = Frame.size();
+  while (Left > 0) {
+    ssize_t N = ::send(Fd, P, Left, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Error = std::string("send: ") + std::strerror(errno);
+      return false;
+    }
+    P += N;
+    Left -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool ClientConnection::recvLine(std::string &Line, std::string &Error) {
+  for (;;) {
+    size_t Nl = Buf.find('\n');
+    if (Nl != std::string::npos) {
+      Line.assign(Buf, 0, Nl);
+      Buf.erase(0, Nl + 1);
+      return true;
+    }
+    if (Buf.size() > kMaxFrameBytes) {
+      Error = "response frame exceeds " + std::to_string(kMaxFrameBytes) +
+              " bytes";
+      return false;
+    }
+    char Chunk[4096];
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Error = std::string("recv: ") + std::strerror(errno);
+      return false;
+    }
+    if (N == 0) {
+      Error = "connection closed by server";
+      return false;
+    }
+    Buf.append(Chunk, static_cast<size_t>(N));
+  }
+}
+
+std::optional<JsonValue> ClientConnection::call(const Request &R,
+                                                std::string &Error) {
+  if (Fd < 0) {
+    Error = "not connected";
+    return std::nullopt;
+  }
+  if (!sendLine(encodeRequest(R), Error))
+    return std::nullopt;
+  std::string Line;
+  if (!recvLine(Line, Error))
+    return std::nullopt;
+  JsonParseResult J = parseJson(Line);
+  if (!J) {
+    Error = "bad response: " + J.Error;
+    return std::nullopt;
+  }
+  if (!J.Value.isObject()) {
+    Error = "bad response: not an object";
+    return std::nullopt;
+  }
+  return std::move(J.Value);
+}
+
+bool ClientConnection::hello(const std::string &Client, std::string &Error) {
+  Request R;
+  R.K = Request::Kind::Hello;
+  R.Client = Client;
+  std::optional<JsonValue> Resp = call(R, Error);
+  if (!Resp)
+    return false;
+  const JsonValue *Ok = Resp->get("ok");
+  if (!Ok || !Ok->asBool()) {
+    const JsonValue *E = Resp->get("error");
+    Error = "hello rejected: " + (E ? E->asString() : std::string("?"));
+    return false;
+  }
+  return true;
+}
+
+std::optional<RemoteOutcome>
+ClientConnection::outcomeFrom(const JsonValue &Resp) {
+  const JsonValue *Done = Resp.get("done");
+  if (!Done || !Done->asBool())
+    return std::nullopt;
+  RemoteOutcome Out;
+  const JsonValue *Status = Resp.get("status");
+  Out.Status = Status ? Status->asString() : "?";
+  const JsonValue *Err = Resp.get("error");
+  if (Err)
+    Out.Error = Err->asString();
+  const JsonValue *QS = Resp.get("queue_sec");
+  if (QS && QS->isNumber())
+    Out.QueueSec = QS->asNumber();
+  const JsonValue *RS = Resp.get("run_sec");
+  if (RS && RS->isNumber())
+    Out.RunSec = RS->asNumber();
+  const JsonValue *Programs = Resp.get("programs");
+  if (Programs && Programs->isArray()) {
+    for (size_t I = 0; I < Programs->size(); ++I) {
+      const JsonValue &P = Programs->at(I);
+      RemoteOutcome::Program Prog;
+      const JsonValue *Sexp = P.get("sexp");
+      const JsonValue *Cost = P.get("cost");
+      if (Sexp)
+        Prog.Sexp = Sexp->asString();
+      if (Cost && Cost->isNumber())
+        Prog.Cost = Cost->asNumber();
+      Out.Programs.push_back(std::move(Prog));
+    }
+  }
+  return Out;
+}
+
+std::optional<RemoteOutcome>
+ClientConnection::submitAndWait(const Request &Submit, std::string &Error,
+                                size_t MaxAttempts) {
+  uint64_t Job = 0;
+  bool Submitted = false;
+  for (size_t Attempt = 0; Attempt < MaxAttempts; ++Attempt) {
+    std::optional<JsonValue> Resp = call(Submit, Error);
+    if (!Resp)
+      return std::nullopt;
+    const JsonValue *Ok = Resp->get("ok");
+    if (Ok && Ok->asBool()) {
+      const JsonValue *J = Resp->get("job");
+      if (!J || !J->isNumber()) {
+        Error = "submit response carries no job id";
+        return std::nullopt;
+      }
+      Job = static_cast<uint64_t>(J->asNumber());
+      Submitted = true;
+      break;
+    }
+    const JsonValue *Rejected = Resp->get("rejected");
+    if (!Rejected) {
+      const JsonValue *E = Resp->get("error");
+      Error = "submit failed: " + (E ? E->asString() : std::string("?"));
+      return std::nullopt;
+    }
+    if (Rejected->asString() == "draining") {
+      Error = "submit rejected: server draining";
+      return std::nullopt;
+    }
+    // Backpressure ("quota" / "queue_full"): honor the server's retry
+    // hint, floored so a zero hint cannot spin.
+    double RetrySec = 0.1;
+    const JsonValue *RA = Resp->get("retry_after_sec");
+    if (RA && RA->isNumber() && RA->asNumber() > RetrySec)
+      RetrySec = RA->asNumber();
+    std::this_thread::sleep_for(std::chrono::duration<double>(RetrySec));
+  }
+  if (!Submitted) {
+    Error = "submit still rejected after " + std::to_string(MaxAttempts) +
+            " attempts";
+    return std::nullopt;
+  }
+
+  Request Wait;
+  Wait.K = Request::Kind::Wait;
+  Wait.Job = Job;
+  for (;;) {
+    std::optional<JsonValue> Resp = call(Wait, Error);
+    if (!Resp)
+      return std::nullopt;
+    const JsonValue *Ok = Resp->get("ok");
+    if (!Ok || !Ok->asBool()) {
+      const JsonValue *E = Resp->get("error");
+      Error = "wait failed: " + (E ? E->asString() : std::string("?"));
+      return std::nullopt;
+    }
+    if (std::optional<RemoteOutcome> Out = outcomeFrom(*Resp))
+      return Out;
+    // done:false => server-side wait timeout; re-issue.
+  }
+}

@@ -1,0 +1,450 @@
+//===-- server/Json.cpp - Minimal non-throwing JSON codec -----------------===//
+//
+// Part of the ShrinkRay reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent JSON parser with an explicit depth budget and a
+/// single-line canonical writer. Error handling is value-based
+/// throughout: fail() records the first diagnostic (with byte offset)
+/// and every production unwinds on it, so no input — truncated, deep,
+/// or garbage — can throw or crash.
+///
+//===----------------------------------------------------------------------===//
+
+#include "server/Json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace shrinkray;
+using namespace shrinkray::server;
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(std::string_view Text) : Text(Text) {}
+
+  JsonParseResult run() {
+    JsonParseResult R;
+    skipWs();
+    if (!parseValue(R.Value, 0)) {
+      R.Error = Error;
+      return R;
+    }
+    skipWs();
+    if (Pos != Text.size()) {
+      R.Error = diag("trailing bytes after value");
+      return R;
+    }
+    return R;
+  }
+
+private:
+  std::string_view Text;
+  size_t Pos = 0;
+  std::string Error;
+
+  std::string diag(const std::string &Msg) const {
+    return "json: " + Msg + " at byte " + std::to_string(Pos);
+  }
+
+  bool fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = diag(Msg);
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() && (Text[Pos] == ' ' || Text[Pos] == '\t' ||
+                                 Text[Pos] == '\n' || Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool atEnd() const { return Pos >= Text.size(); }
+  char peek() const { return Text[Pos]; }
+
+  bool literal(const char *Lit) {
+    size_t Len = std::strlen(Lit);
+    if (Text.size() - Pos < Len || Text.compare(Pos, Len, Lit) != 0)
+      return fail(std::string("expected '") + Lit + "'");
+    Pos += Len;
+    return true;
+  }
+
+  bool parseValue(JsonValue &Out, size_t Depth) {
+    if (Depth > kMaxJsonDepth)
+      return fail("nesting deeper than " + std::to_string(kMaxJsonDepth));
+    if (atEnd())
+      return fail("unexpected end of input");
+    switch (peek()) {
+    case 'n':
+      if (!literal("null"))
+        return false;
+      Out = JsonValue::null();
+      return true;
+    case 't':
+      if (!literal("true"))
+        return false;
+      Out = JsonValue::boolean(true);
+      return true;
+    case 'f':
+      if (!literal("false"))
+        return false;
+      Out = JsonValue::boolean(false);
+      return true;
+    case '"':
+      return parseString(Out);
+    case '[':
+      return parseArray(Out, Depth);
+    case '{':
+      return parseObject(Out, Depth);
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseNumber(JsonValue &Out) {
+    // Validate the JSON number grammar explicitly, then hand the span to
+    // strtod: strtod alone accepts spellings JSON forbids (hex, inf,
+    // leading '+', bare '.5').
+    const size_t Start = Pos;
+    if (!atEnd() && peek() == '-')
+      ++Pos;
+    if (atEnd() || peek() < '0' || peek() > '9')
+      return fail("malformed number");
+    if (peek() == '0') {
+      ++Pos;
+    } else {
+      while (!atEnd() && peek() >= '0' && peek() <= '9')
+        ++Pos;
+    }
+    if (!atEnd() && peek() == '.') {
+      ++Pos;
+      if (atEnd() || peek() < '0' || peek() > '9')
+        return fail("malformed number: digit required after '.'");
+      while (!atEnd() && peek() >= '0' && peek() <= '9')
+        ++Pos;
+    }
+    if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+      ++Pos;
+      if (!atEnd() && (peek() == '+' || peek() == '-'))
+        ++Pos;
+      if (atEnd() || peek() < '0' || peek() > '9')
+        return fail("malformed number: digit required in exponent");
+      while (!atEnd() && peek() >= '0' && peek() <= '9')
+        ++Pos;
+    }
+    std::string Span(Text.substr(Start, Pos - Start));
+    double V = std::strtod(Span.c_str(), nullptr);
+    if (!std::isfinite(V))
+      return fail("number out of double range");
+    Out = JsonValue::number(V);
+    return true;
+  }
+
+  bool hexDigit(char C, unsigned &D) {
+    if (C >= '0' && C <= '9')
+      D = static_cast<unsigned>(C - '0');
+    else if (C >= 'a' && C <= 'f')
+      D = static_cast<unsigned>(C - 'a' + 10);
+    else if (C >= 'A' && C <= 'F')
+      D = static_cast<unsigned>(C - 'A' + 10);
+    else
+      return false;
+    return true;
+  }
+
+  bool parseHex4(unsigned &Out) {
+    if (Text.size() - Pos < 4)
+      return fail("truncated \\u escape");
+    Out = 0;
+    for (int I = 0; I < 4; ++I) {
+      unsigned D;
+      if (!hexDigit(Text[Pos + static_cast<size_t>(I)], D))
+        return fail("bad hex digit in \\u escape");
+      Out = Out * 16 + D;
+    }
+    Pos += 4;
+    return true;
+  }
+
+  void appendUtf8(std::string &S, unsigned CP) {
+    if (CP < 0x80) {
+      S += static_cast<char>(CP);
+    } else if (CP < 0x800) {
+      S += static_cast<char>(0xC0 | (CP >> 6));
+      S += static_cast<char>(0x80 | (CP & 0x3F));
+    } else if (CP < 0x10000) {
+      S += static_cast<char>(0xE0 | (CP >> 12));
+      S += static_cast<char>(0x80 | ((CP >> 6) & 0x3F));
+      S += static_cast<char>(0x80 | (CP & 0x3F));
+    } else {
+      S += static_cast<char>(0xF0 | (CP >> 18));
+      S += static_cast<char>(0x80 | ((CP >> 12) & 0x3F));
+      S += static_cast<char>(0x80 | ((CP >> 6) & 0x3F));
+      S += static_cast<char>(0x80 | (CP & 0x3F));
+    }
+  }
+
+  bool parseString(JsonValue &Out) {
+    std::string S;
+    if (!parseRawString(S))
+      return false;
+    Out = JsonValue::string(std::move(S));
+    return true;
+  }
+
+  bool parseRawString(std::string &S) {
+    ++Pos; // opening quote
+    for (;;) {
+      if (atEnd())
+        return fail("unterminated string");
+      char C = peek();
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (static_cast<unsigned char>(C) < 0x20)
+        return fail("raw control character in string");
+      if (C != '\\') {
+        S += C;
+        ++Pos;
+        continue;
+      }
+      ++Pos;
+      if (atEnd())
+        return fail("truncated escape");
+      char E = peek();
+      ++Pos;
+      switch (E) {
+      case '"':
+        S += '"';
+        break;
+      case '\\':
+        S += '\\';
+        break;
+      case '/':
+        S += '/';
+        break;
+      case 'b':
+        S += '\b';
+        break;
+      case 'f':
+        S += '\f';
+        break;
+      case 'n':
+        S += '\n';
+        break;
+      case 'r':
+        S += '\r';
+        break;
+      case 't':
+        S += '\t';
+        break;
+      case 'u': {
+        unsigned CP;
+        if (!parseHex4(CP))
+          return false;
+        if (CP >= 0xD800 && CP <= 0xDBFF) {
+          // High surrogate: a low surrogate must follow.
+          if (Text.size() - Pos < 2 || Text[Pos] != '\\' ||
+              Text[Pos + 1] != 'u')
+            return fail("lone high surrogate");
+          Pos += 2;
+          unsigned Low;
+          if (!parseHex4(Low))
+            return false;
+          if (Low < 0xDC00 || Low > 0xDFFF)
+            return fail("invalid low surrogate");
+          CP = 0x10000 + ((CP - 0xD800) << 10) + (Low - 0xDC00);
+        } else if (CP >= 0xDC00 && CP <= 0xDFFF) {
+          return fail("lone low surrogate");
+        }
+        appendUtf8(S, CP);
+        break;
+      }
+      default:
+        return fail("unknown escape");
+      }
+    }
+  }
+
+  bool parseArray(JsonValue &Out, size_t Depth) {
+    ++Pos; // '['
+    Out = JsonValue::array();
+    skipWs();
+    if (!atEnd() && peek() == ']') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      JsonValue Elem;
+      skipWs();
+      if (!parseValue(Elem, Depth + 1))
+        return false;
+      Out.push(std::move(Elem));
+      skipWs();
+      if (atEnd())
+        return fail("unterminated array");
+      if (peek() == ',') {
+        ++Pos;
+        continue;
+      }
+      if (peek() == ']') {
+        ++Pos;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parseObject(JsonValue &Out, size_t Depth) {
+    ++Pos; // '{'
+    Out = JsonValue::object();
+    skipWs();
+    if (!atEnd() && peek() == '}') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      if (atEnd() || peek() != '"')
+        return fail("expected string key in object");
+      std::string Key;
+      if (!parseRawString(Key))
+        return false;
+      skipWs();
+      if (atEnd() || peek() != ':')
+        return fail("expected ':' after object key");
+      ++Pos;
+      skipWs();
+      JsonValue Val;
+      if (!parseValue(Val, Depth + 1))
+        return false;
+      Out.set(std::move(Key), std::move(Val));
+      skipWs();
+      if (atEnd())
+        return fail("unterminated object");
+      if (peek() == ',') {
+        ++Pos;
+        continue;
+      }
+      if (peek() == '}') {
+        ++Pos;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+};
+
+void writeString(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+void writeNumber(std::string &Out, double N) {
+  // JSON has no spelling for non-finite numbers; emit null (the parser
+  // rejects them on the way in, so this only guards programmatic values).
+  if (!std::isfinite(N)) {
+    Out += "null";
+    return;
+  }
+  // Integral values within the double-exact range print without an
+  // exponent or fraction — job ids and counters stay grep-able.
+  if (N == static_cast<double>(static_cast<long long>(N)) &&
+      std::fabs(N) < 9.007199254740992e15) {
+    Out += std::to_string(static_cast<long long>(N));
+    return;
+  }
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", N);
+  Out += Buf;
+}
+
+void writeValue(std::string &Out, const JsonValue &V) {
+  switch (V.kind()) {
+  case JsonValue::Kind::Null:
+    Out += "null";
+    return;
+  case JsonValue::Kind::Bool:
+    Out += V.asBool() ? "true" : "false";
+    return;
+  case JsonValue::Kind::Number:
+    writeNumber(Out, V.asNumber());
+    return;
+  case JsonValue::Kind::String:
+    writeString(Out, V.asString());
+    return;
+  case JsonValue::Kind::Array:
+    Out += '[';
+    for (size_t I = 0; I < V.size(); ++I) {
+      if (I)
+        Out += ',';
+      writeValue(Out, V.at(I));
+    }
+    Out += ']';
+    return;
+  case JsonValue::Kind::Object:
+    Out += '{';
+    for (size_t I = 0; I < V.size(); ++I) {
+      if (I)
+        Out += ',';
+      writeString(Out, V.member(I).first);
+      Out += ':';
+      writeValue(Out, V.member(I).second);
+    }
+    Out += '}';
+    return;
+  }
+}
+
+} // namespace
+
+JsonParseResult shrinkray::server::parseJson(std::string_view Text) {
+  return Parser(Text).run();
+}
+
+std::string shrinkray::server::writeJson(const JsonValue &V) {
+  std::string Out;
+  writeValue(Out, V);
+  return Out;
+}

@@ -1,0 +1,153 @@
+//===-- server/Json.h - Minimal non-throwing JSON codec ---------*- C++ -*-===//
+//
+// Part of the ShrinkRay reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The JSON value model and codec behind the JSONL RPC protocol. Network
+/// bytes are hostile input, so the parser is written to a hard contract:
+/// it never throws, never aborts, and never reads past its input — every
+/// malformed byte sequence degrades to a JsonParseResult carrying a
+/// diagnostic. Depth is bounded (kMaxJsonDepth) so a nest bomb cannot
+/// overflow the stack; callers bound input size (the server's frame cap)
+/// before parsing.
+///
+/// The writer emits the one canonical spelling the tests round-trip:
+/// insertion-ordered objects, %.17g numbers (shortest form that
+/// round-trips a double), and \uXXXX escapes only where JSON requires
+/// them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHRINKRAY_SERVER_JSON_H
+#define SHRINKRAY_SERVER_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace shrinkray {
+namespace server {
+
+/// Parser recursion limit. Frames deeper than this are rejected with a
+/// diagnostic — the protocol itself never nests past 3.
+constexpr size_t kMaxJsonDepth = 32;
+
+/// One JSON value. Objects preserve insertion order (writer output is
+/// deterministic); lookup is a linear scan, sized for protocol frames,
+/// not documents.
+class JsonValue {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() : K(Kind::Null) {}
+
+  static JsonValue null() { return JsonValue(); }
+  static JsonValue boolean(bool B) {
+    JsonValue V;
+    V.K = Kind::Bool;
+    V.B = B;
+    return V;
+  }
+  static JsonValue number(double N) {
+    JsonValue V;
+    V.K = Kind::Number;
+    V.N = N;
+    return V;
+  }
+  static JsonValue string(std::string S) {
+    JsonValue V;
+    V.K = Kind::String;
+    V.S = std::move(S);
+    return V;
+  }
+  static JsonValue array() {
+    JsonValue V;
+    V.K = Kind::Array;
+    return V;
+  }
+  static JsonValue object() {
+    JsonValue V;
+    V.K = Kind::Object;
+    return V;
+  }
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  /// Typed accessors; calling one against the wrong kind returns the
+  /// type's zero value (never asserts — the server reads attacker-shaped
+  /// values and validates kinds explicitly first).
+  bool asBool() const { return K == Kind::Bool ? B : false; }
+  double asNumber() const { return K == Kind::Number ? N : 0.0; }
+  const std::string &asString() const {
+    static const std::string Empty;
+    return K == Kind::String ? S : Empty;
+  }
+
+  /// Array elements / object members, in insertion order.
+  size_t size() const {
+    return K == Kind::Array ? Elems.size()
+                            : (K == Kind::Object ? Members.size() : 0);
+  }
+  const JsonValue &at(size_t I) const { return Elems[I]; }
+  const std::pair<std::string, JsonValue> &member(size_t I) const {
+    return Members[I];
+  }
+
+  /// Object field lookup; nullptr when absent or not an object.
+  const JsonValue *get(std::string_view Key) const {
+    if (K != Kind::Object)
+      return nullptr;
+    for (const auto &M : Members)
+      if (M.first == Key)
+        return &M.second;
+    return nullptr;
+  }
+
+  JsonValue &push(JsonValue V) {
+    Elems.push_back(std::move(V));
+    return Elems.back();
+  }
+  JsonValue &set(std::string Key, JsonValue V) {
+    Members.emplace_back(std::move(Key), std::move(V));
+    return Members.back().second;
+  }
+
+private:
+  Kind K;
+  bool B = false;
+  double N = 0.0;
+  std::string S;
+  std::vector<JsonValue> Elems;
+  std::vector<std::pair<std::string, JsonValue>> Members;
+};
+
+/// Outcome of parseJson: Value is meaningful only when Error is empty.
+struct JsonParseResult {
+  JsonValue Value;
+  std::string Error;
+  explicit operator bool() const { return Error.empty(); }
+};
+
+/// Parses exactly one JSON value spanning all of \p Text (trailing
+/// non-whitespace is an error — a frame is one value). Never throws.
+JsonParseResult parseJson(std::string_view Text);
+
+/// Serializes \p V to the canonical single-line spelling (no trailing
+/// newline). parseJson(writeJson(V)) reproduces V exactly; numbers
+/// round-trip bit-for-bit through %.17g.
+std::string writeJson(const JsonValue &V);
+
+} // namespace server
+} // namespace shrinkray
+
+#endif // SHRINKRAY_SERVER_JSON_H

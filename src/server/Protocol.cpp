@@ -1,0 +1,354 @@
+//===-- server/Protocol.cpp - JSONL RPC request/response codec ------------===//
+//
+// Part of the ShrinkRay reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Request validation and response serialization. The request side is
+/// deliberately strict about *types and ranges* (a number where a string
+/// belongs is an error, job ids must be exact non-negative integers,
+/// top_k is clamped to its documented ceiling) and deliberately lax
+/// about *unknown fields* (ignored, so older servers tolerate newer
+/// clients).
+///
+//===----------------------------------------------------------------------===//
+
+#include "server/Protocol.h"
+
+#include "cad/Sexp.h"
+
+#include <cmath>
+
+using namespace shrinkray;
+using namespace shrinkray::server;
+
+namespace {
+
+/// Reads an optional string field; false (with diagnostic) when present
+/// but not a string.
+bool readString(const JsonValue &Obj, const char *Key, std::string &Out,
+                std::string &Error) {
+  const JsonValue *V = Obj.get(Key);
+  if (!V)
+    return true;
+  if (!V->isString()) {
+    Error = std::string("field '") + Key + "' must be a string";
+    return false;
+  }
+  Out = V->asString();
+  return true;
+}
+
+bool readBool(const JsonValue &Obj, const char *Key, bool &Out,
+              std::string &Error) {
+  const JsonValue *V = Obj.get(Key);
+  if (!V)
+    return true;
+  if (!V->isBool()) {
+    Error = std::string("field '") + Key + "' must be a boolean";
+    return false;
+  }
+  Out = V->asBool();
+  return true;
+}
+
+/// Reads an optional finite number >= 0.
+bool readNonNegNumber(const JsonValue &Obj, const char *Key, double &Out,
+                      std::string &Error) {
+  const JsonValue *V = Obj.get(Key);
+  if (!V)
+    return true;
+  if (!V->isNumber() || !(V->asNumber() >= 0.0)) {
+    Error = std::string("field '") + Key + "' must be a number >= 0";
+    return false;
+  }
+  Out = V->asNumber();
+  return true;
+}
+
+/// Reads an optional exact non-negative integer (job ids, counts). A
+/// fractional or out-of-exact-range number is an error, not a rounding.
+bool readUint(const JsonValue &Obj, const char *Key, uint64_t &Out,
+              std::string &Error) {
+  const JsonValue *V = Obj.get(Key);
+  if (!V)
+    return true;
+  double N = V->isNumber() ? V->asNumber() : -1.0;
+  if (!V->isNumber() || N < 0.0 || N > 9.007199254740992e15 ||
+      N != std::floor(N)) {
+    Error = std::string("field '") + Key + "' must be a non-negative integer";
+    return false;
+  }
+  Out = static_cast<uint64_t>(N);
+  return true;
+}
+
+/// job is required on wait/poll/cancel.
+bool readRequiredJob(const JsonValue &Obj, Request &Req, std::string &Error) {
+  if (!Obj.get("job")) {
+    Error = "field 'job' is required";
+    return false;
+  }
+  return readUint(Obj, "job", Req.Job, Error);
+}
+
+} // namespace
+
+ParsedRequest shrinkray::server::parseRequest(std::string_view Line) {
+  ParsedRequest P;
+  if (Line.size() > kMaxFrameBytes) {
+    P.Error = "frame exceeds " + std::to_string(kMaxFrameBytes) + " bytes";
+    return P;
+  }
+  JsonParseResult J = parseJson(Line);
+  if (!J) {
+    P.Error = J.Error;
+    return P;
+  }
+  if (!J.Value.isObject()) {
+    P.Error = "request must be a JSON object";
+    return P;
+  }
+  const JsonValue *OpV = J.Value.get("op");
+  if (!OpV || !OpV->isString()) {
+    P.Error = "field 'op' (string) is required";
+    return P;
+  }
+  const std::string &Op = OpV->asString();
+  P.Op = Op;
+  Request &R = P.Req;
+  std::string &E = P.Error;
+
+  if (Op == "hello") {
+    R.K = Request::Kind::Hello;
+    if (!readString(J.Value, "client", R.Client, E))
+      return P;
+    uint64_t Proto = static_cast<uint64_t>(kProtocolVersion);
+    if (!readUint(J.Value, "proto", Proto, E))
+      return P;
+    R.Proto = static_cast<int>(Proto);
+  } else if (Op == "submit") {
+    R.K = Request::Kind::Submit;
+    if (!readString(J.Value, "name", R.Name, E) ||
+        !readString(J.Value, "source", R.Source, E) ||
+        !readBool(J.Value, "scad", R.SourceIsScad, E) ||
+        !readNonNegNumber(J.Value, "deadline_sec", R.DeadlineSec, E))
+      return P;
+    if (!J.Value.get("source") || R.Source.empty()) {
+      E = "field 'source' (non-empty string) is required";
+      return P;
+    }
+    uint64_t TopK = R.TopK;
+    if (!readUint(J.Value, "top_k", TopK, E))
+      return P;
+    if (TopK < 1 || TopK > kMaxTopK) {
+      E = "field 'top_k' must be in [1, " + std::to_string(kMaxTopK) + "]";
+      return P;
+    }
+    R.TopK = static_cast<size_t>(TopK);
+    std::string Cost;
+    if (!readString(J.Value, "cost", Cost, E))
+      return P;
+    if (Cost.empty() || Cost == "size") {
+      R.Cost = CostKind::AstSize;
+    } else if (Cost == "loops") {
+      R.Cost = CostKind::RewardLoops;
+    } else {
+      E = "field 'cost' must be \"size\" or \"loops\"";
+      return P;
+    }
+  } else if (Op == "wait") {
+    R.K = Request::Kind::Wait;
+    if (!readRequiredJob(J.Value, R, E))
+      return P;
+    if (J.Value.get("timeout_sec")) {
+      R.TimeoutSec = 0.0;
+      if (!readNonNegNumber(J.Value, "timeout_sec", R.TimeoutSec, E))
+        return P;
+    }
+  } else if (Op == "poll") {
+    R.K = Request::Kind::Poll;
+    if (!readRequiredJob(J.Value, R, E))
+      return P;
+  } else if (Op == "cancel") {
+    R.K = Request::Kind::Cancel;
+    if (!readRequiredJob(J.Value, R, E))
+      return P;
+  } else if (Op == "stats") {
+    R.K = Request::Kind::Stats;
+  } else {
+    E = "unknown op '" + Op + "'";
+    return P;
+  }
+  P.Ok = true;
+  return P;
+}
+
+std::string shrinkray::server::encodeRequest(const Request &R) {
+  JsonValue O = JsonValue::object();
+  switch (R.K) {
+  case Request::Kind::Hello:
+    O.set("op", JsonValue::string("hello"));
+    if (!R.Client.empty())
+      O.set("client", JsonValue::string(R.Client));
+    O.set("proto", JsonValue::number(R.Proto));
+    break;
+  case Request::Kind::Submit:
+    O.set("op", JsonValue::string("submit"));
+    if (!R.Name.empty())
+      O.set("name", JsonValue::string(R.Name));
+    O.set("source", JsonValue::string(R.Source));
+    if (R.SourceIsScad)
+      O.set("scad", JsonValue::boolean(true));
+    if (R.TopK != 5)
+      O.set("top_k", JsonValue::number(static_cast<double>(R.TopK)));
+    if (R.Cost == CostKind::RewardLoops)
+      O.set("cost", JsonValue::string("loops"));
+    if (R.DeadlineSec > 0.0)
+      O.set("deadline_sec", JsonValue::number(R.DeadlineSec));
+    break;
+  case Request::Kind::Wait:
+    O.set("op", JsonValue::string("wait"));
+    O.set("job", JsonValue::number(static_cast<double>(R.Job)));
+    if (R.TimeoutSec >= 0.0)
+      O.set("timeout_sec", JsonValue::number(R.TimeoutSec));
+    break;
+  case Request::Kind::Poll:
+    O.set("op", JsonValue::string("poll"));
+    O.set("job", JsonValue::number(static_cast<double>(R.Job)));
+    break;
+  case Request::Kind::Cancel:
+    O.set("op", JsonValue::string("cancel"));
+    O.set("job", JsonValue::number(static_cast<double>(R.Job)));
+    break;
+  case Request::Kind::Stats:
+    O.set("op", JsonValue::string("stats"));
+    break;
+  }
+  return writeJson(O);
+}
+
+namespace {
+
+JsonValue responseHead(std::string_view Op, bool Ok) {
+  JsonValue O = JsonValue::object();
+  O.set("ok", JsonValue::boolean(Ok));
+  if (!Op.empty())
+    O.set("op", JsonValue::string(std::string(Op)));
+  return O;
+}
+
+} // namespace
+
+std::string shrinkray::server::errorResponse(std::string_view Op,
+                                             std::string_view Error) {
+  JsonValue O = responseHead(Op, false);
+  O.set("error", JsonValue::string(std::string(Error)));
+  return writeJson(O);
+}
+
+std::string shrinkray::server::rejectedResponse(std::string_view Op,
+                                                std::string_view Reason,
+                                                double RetryAfterSec) {
+  JsonValue O = responseHead(Op, false);
+  O.set("error", JsonValue::string("rejected: " + std::string(Reason)));
+  O.set("rejected", JsonValue::string(std::string(Reason)));
+  if (RetryAfterSec > 0.0)
+    O.set("retry_after_sec", JsonValue::number(RetryAfterSec));
+  return writeJson(O);
+}
+
+std::string shrinkray::server::helloResponse(std::string_view Client,
+                                             int Proto) {
+  JsonValue O = responseHead("hello", true);
+  O.set("client", JsonValue::string(std::string(Client)));
+  O.set("proto", JsonValue::number(Proto));
+  return writeJson(O);
+}
+
+std::string shrinkray::server::submittedResponse(uint64_t Job) {
+  JsonValue O = responseHead("submit", true);
+  O.set("job", JsonValue::number(static_cast<double>(Job)));
+  return writeJson(O);
+}
+
+const char *shrinkray::server::jobStatusName(service::JobOutcome::Status St) {
+  switch (St) {
+  case service::JobOutcome::Status::CacheHit:
+    return "cache-hit";
+  case service::JobOutcome::Status::Succeeded:
+    return "ok";
+  case service::JobOutcome::Status::Cancelled:
+    return "cancelled";
+  case service::JobOutcome::Status::Failed:
+    return "failed";
+  }
+  return "?";
+}
+
+const char *shrinkray::server::jobPhaseName(service::JobPhase Phase) {
+  switch (Phase) {
+  case service::JobPhase::Unknown:
+    return "unknown";
+  case service::JobPhase::Pending:
+    return "pending";
+  case service::JobPhase::Running:
+    return "running";
+  case service::JobPhase::Done:
+    return "done";
+  }
+  return "?";
+}
+
+std::string
+shrinkray::server::outcomeResponse(std::string_view Op, uint64_t Job,
+                                   const service::JobOutcome &Out) {
+  JsonValue O = responseHead(Op, true);
+  O.set("job", JsonValue::number(static_cast<double>(Job)));
+  O.set("done", JsonValue::boolean(true));
+  O.set("status", JsonValue::string(jobStatusName(Out.St)));
+  if (!Out.Error.empty())
+    O.set("error", JsonValue::string(Out.Error));
+  JsonValue Programs = JsonValue::array();
+  for (const RankedTerm &P : Out.Result.Programs) {
+    JsonValue Entry = JsonValue::object();
+    Entry.set("sexp", JsonValue::string(printSexp(P.T)));
+    Entry.set("cost", JsonValue::number(P.Cost));
+    Programs.push(std::move(Entry));
+  }
+  O.set("programs", std::move(Programs));
+  O.set("queue_sec", JsonValue::number(Out.QueueSec));
+  O.set("run_sec", JsonValue::number(Out.RunSec));
+  return writeJson(O);
+}
+
+std::string shrinkray::server::waitTimeoutResponse(uint64_t Job) {
+  JsonValue O = responseHead("wait", true);
+  O.set("job", JsonValue::number(static_cast<double>(Job)));
+  O.set("done", JsonValue::boolean(false));
+  O.set("timeout", JsonValue::boolean(true));
+  return writeJson(O);
+}
+
+std::string shrinkray::server::pollResponse(uint64_t Job,
+                                            service::JobPhase Phase) {
+  JsonValue O = responseHead("poll", true);
+  O.set("job", JsonValue::number(static_cast<double>(Job)));
+  O.set("phase", JsonValue::string(jobPhaseName(Phase)));
+  O.set("done", JsonValue::boolean(Phase == service::JobPhase::Done));
+  return writeJson(O);
+}
+
+std::string shrinkray::server::cancelResponse(uint64_t Job, bool Cancelled) {
+  JsonValue O = responseHead("cancel", true);
+  O.set("job", JsonValue::number(static_cast<double>(Job)));
+  O.set("cancelled", JsonValue::boolean(Cancelled));
+  return writeJson(O);
+}
+
+std::string shrinkray::server::statsResponse(const JsonValue &Stats) {
+  JsonValue O = responseHead("stats", true);
+  O.set("stats", Stats);
+  return writeJson(O);
+}

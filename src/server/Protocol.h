@@ -1,0 +1,125 @@
+//===-- server/Protocol.h - JSONL RPC request/response codec ----*- C++ -*-===//
+//
+// Part of the ShrinkRay reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wire protocol of the synthesis server: newline-delimited JSON
+/// (JSONL), one request object in, one response object out, over stdio
+/// or TCP. The grammar (see docs/ARCHITECTURE.md for the full table):
+///
+///   request  := { "op": "hello" | "submit" | "wait" | "poll"
+///                     | "cancel" | "stats", ...op fields }
+///   response := { "ok": true,  "op": <echo>, ...result fields }
+///            |  { "ok": false, "op": <echo>, "error": <diagnostic>
+///                 [, "rejected": "queue_full" | "quota" | "draining"
+///                  , "retry_after_sec": <sec>] }
+///
+/// parseRequest is the trust boundary: every field is type- and
+/// range-checked, unknown ops and malformed frames come back as error
+/// values, and nothing in this layer throws or aborts — a network peer
+/// must never be able to take the process down. Unknown *fields* are
+/// ignored (forward compatibility); unknown *ops* are errors.
+///
+/// encodeRequest is the client half: parseRequest(encodeRequest(R))
+/// reproduces R field-for-field, which the codec tests round-trip for
+/// every request kind.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHRINKRAY_SERVER_PROTOCOL_H
+#define SHRINKRAY_SERVER_PROTOCOL_H
+
+#include "server/Json.h"
+#include "service/SynthesisService.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace shrinkray {
+namespace server {
+
+/// Protocol revision; hello negotiates it (a mismatched client is told
+/// the server's version in the error response and can bail cleanly).
+constexpr int kProtocolVersion = 1;
+
+/// Frame cap, applied to requests before parsing and enforced by the
+/// transport reader: a longer line is consumed and answered with an
+/// error instead of buffering without bound. 4 MiB comfortably holds the
+/// largest corpus model (~20 KiB) with two orders of margin.
+constexpr size_t kMaxFrameBytes = 4u << 20;
+
+/// Ceiling for submit's top_k — extraction cost is linear in k, so an
+/// attacker-supplied k must not pick the server's working-set size.
+constexpr size_t kMaxTopK = 64;
+
+/// One parsed request. Fields beyond Kind are meaningful per-op (the
+/// unused remainder keeps its default).
+struct Request {
+  enum class Kind { Hello, Submit, Wait, Poll, Cancel, Stats };
+  Kind K = Kind::Stats;
+
+  // hello
+  std::string Client; ///< quota/stats identity; empty = "anon"
+  int Proto = kProtocolVersion;
+
+  // submit
+  std::string Name;          ///< label echoed in results (optional)
+  std::string Source;        ///< program text (required)
+  bool SourceIsScad = false; ///< "scad": true => OpenSCAD subset
+  size_t TopK = 5;
+  CostKind Cost = CostKind::AstSize;
+  double DeadlineSec = 0.0; ///< 0 = no per-job deadline
+
+  // wait / poll / cancel
+  uint64_t Job = 0;
+  double TimeoutSec = -1.0; ///< wait only; < 0 = server default
+};
+
+/// parseRequest outcome: Ok distinguishes a usable Request from a
+/// diagnostic. Op carries the echoed op string when one was recoverable
+/// (so even error responses name the op they answer).
+struct ParsedRequest {
+  bool Ok = false;
+  Request Req;
+  std::string Op;    ///< echoed op ("" when the frame had none)
+  std::string Error; ///< diagnostic when !Ok
+};
+
+/// Parses and validates one request frame (no trailing newline). Never
+/// throws; any malformed input yields Ok = false with a diagnostic.
+ParsedRequest parseRequest(std::string_view Line);
+
+/// Client-side encoder; emits the canonical frame (no newline).
+std::string encodeRequest(const Request &R);
+
+/// Response builders. Each returns one canonical JSON line (no trailing
+/// newline); the transport appends '\n'.
+std::string errorResponse(std::string_view Op, std::string_view Error);
+/// Backpressure refusal: Reason is "queue_full", "quota" or "draining";
+/// RetryAfterSec > 0 tells the client when capacity is expected back.
+std::string rejectedResponse(std::string_view Op, std::string_view Reason,
+                             double RetryAfterSec);
+std::string helloResponse(std::string_view Client, int Proto);
+std::string submittedResponse(uint64_t Job);
+/// wait/poll answer for a finished job, programs included.
+std::string outcomeResponse(std::string_view Op, uint64_t Job,
+                            const service::JobOutcome &Out);
+/// wait answer when the job is still in flight at the timeout.
+std::string waitTimeoutResponse(uint64_t Job);
+std::string pollResponse(uint64_t Job, service::JobPhase Phase);
+std::string cancelResponse(uint64_t Job, bool Cancelled);
+/// stats carries a caller-assembled JSON object (server + service +
+/// cache counters) so the protocol layer stays counter-agnostic.
+std::string statsResponse(const JsonValue &Stats);
+
+/// Spelling helpers shared by server and client.
+const char *jobStatusName(service::JobOutcome::Status St);
+const char *jobPhaseName(service::JobPhase Phase);
+
+} // namespace server
+} // namespace shrinkray
+
+#endif // SHRINKRAY_SERVER_PROTOCOL_H

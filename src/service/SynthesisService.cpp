@@ -109,6 +109,7 @@ SynthesisService::~SynthesisService() {
       if (J.State == JobState::Pending) {
         J.Outcome.St = JobOutcome::Status::Cancelled;
         J.State = JobState::Done;
+        noteDoneLocked(J.Outcome);
       }
     }
     Queue.clear();
@@ -119,19 +120,124 @@ SynthesisService::~SynthesisService() {
     T.join();
 }
 
+SynthesisService::JobId SynthesisService::enqueueLocked(JobSpec Spec) {
+  JobId Id = NextId++;
+  auto J = std::make_unique<Job>();
+  J->Spec = std::move(Spec);
+  J->Submitted = Clock::now();
+  Jobs.emplace(Id, std::move(J));
+  Queue.push_back(Id);
+  ++Counters.Submitted;
+  return Id;
+}
+
 SynthesisService::JobId SynthesisService::submit(JobSpec Spec) {
   JobId Id;
   {
     std::lock_guard<std::mutex> Lock(M);
-    Id = NextId++;
-    auto J = std::make_unique<Job>();
-    J->Spec = std::move(Spec);
-    J->Submitted = Clock::now();
-    Jobs.emplace(Id, std::move(J));
-    Queue.push_back(Id);
+    Id = enqueueLocked(std::move(Spec));
   }
   WorkCV.notify_one();
   return Id;
+}
+
+std::optional<SynthesisService::JobId>
+SynthesisService::trySubmit(JobSpec Spec) {
+  JobId Id;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Draining ||
+        (Cfg.MaxQueueDepth != 0 && Queue.size() >= Cfg.MaxQueueDepth)) {
+      ++Counters.Rejected;
+      return std::nullopt;
+    }
+    Id = enqueueLocked(std::move(Spec));
+  }
+  WorkCV.notify_one();
+  return Id;
+}
+
+void SynthesisService::noteDoneLocked(const JobOutcome &Out) {
+  ++Counters.Completed;
+  switch (Out.St) {
+  case JobOutcome::Status::CacheHit:
+    ++Counters.CacheHits;
+    break;
+  case JobOutcome::Status::Succeeded:
+    ++Counters.Succeeded;
+    break;
+  case JobOutcome::Status::Cancelled:
+    ++Counters.Cancelled;
+    break;
+  case JobOutcome::Status::Failed:
+    ++Counters.Failed;
+    break;
+  }
+}
+
+WaitResult SynthesisService::tryWait(JobId Id) {
+  std::unique_lock<std::mutex> Lock(M);
+  auto It = Jobs.find(Id);
+  if (It == Jobs.end())
+    return WaitResult{WaitResult::Status::Unknown, nullptr};
+  Job &J = *It->second;
+  DoneCV.wait(Lock, [&] { return J.State == JobState::Done; });
+  return WaitResult{WaitResult::Status::Done, &J.Outcome};
+}
+
+WaitResult SynthesisService::waitFor(JobId Id, double Seconds) {
+  std::unique_lock<std::mutex> Lock(M);
+  auto It = Jobs.find(Id);
+  if (It == Jobs.end())
+    return WaitResult{WaitResult::Status::Unknown, nullptr};
+  Job &J = *It->second;
+  // wait_for re-evaluates the predicate after every wakeup (spurious or
+  // not) and once more at the deadline, so a completion racing the
+  // timeout is always reported as Done.
+  bool Done = DoneCV.wait_for(Lock, std::chrono::duration<double>(Seconds),
+                              [&] { return J.State == JobState::Done; });
+  if (!Done)
+    return WaitResult{WaitResult::Status::Timeout, nullptr};
+  return WaitResult{WaitResult::Status::Done, &J.Outcome};
+}
+
+JobPhase SynthesisService::poll(JobId Id) const {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Jobs.find(Id);
+  if (It == Jobs.end())
+    return JobPhase::Unknown;
+  switch (It->second->State) {
+  case JobState::Pending:
+    return JobPhase::Pending;
+  case JobState::Running:
+    return JobPhase::Running;
+  case JobState::Done:
+    break;
+  }
+  return JobPhase::Done;
+}
+
+void SynthesisService::beginDrain() {
+  std::lock_guard<std::mutex> Lock(M);
+  Draining = true;
+}
+
+bool SynthesisService::awaitIdle(double TimeoutSec) {
+  std::unique_lock<std::mutex> Lock(M);
+  // Every transition that can complete the predicate (a job finishing,
+  // including the cancelled-while-queued path) notifies DoneCV, so
+  // waiting on it observes idleness without polling.
+  return DoneCV.wait_for(Lock, std::chrono::duration<double>(TimeoutSec),
+                         [&] { return Queue.empty() && RunningJobs == 0; });
+}
+
+ServiceStats SynthesisService::stats() const {
+  std::lock_guard<std::mutex> Lock(M);
+  ServiceStats S = Counters;
+  S.QueueDepth = Queue.size();
+  S.Running = RunningJobs;
+  S.Draining = Draining;
+  return S;
 }
 
 const JobOutcome &SynthesisService::wait(JobId Id) {
@@ -181,6 +287,7 @@ void SynthesisService::workerLoop() {
         // Cancelled while still queued: complete without running.
         J->Outcome.St = JobOutcome::Status::Cancelled;
         J->State = JobState::Done;
+        noteDoneLocked(J->Outcome);
         DoneCV.notify_all();
         continue;
       }
@@ -194,6 +301,7 @@ void SynthesisService::workerLoop() {
       --RunningJobs;
       J->Outcome.RunSec = secondsBetween(RunStart, Clock::now());
       J->State = JobState::Done;
+      noteDoneLocked(J->Outcome);
     }
     WorkCV.notify_one(); // a slot freed up: admit the next queued job
     DoneCV.notify_all();

@@ -46,6 +46,7 @@
 #include <condition_variable>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <thread>
 
 namespace shrinkray {
@@ -79,6 +80,13 @@ struct ServiceConfig {
   /// captured one in more than this many numeric leaf values runs cold (a
   /// large edit invalidates most of the captured saturation anyway).
   size_t WarmMaxEditedLeaves = 4;
+  /// Admission bound on the FIFO queue, enforced by trySubmit() only:
+  /// once this many jobs are queued (not yet picked up by a worker),
+  /// trySubmit rejects instead of growing the queue. 0 = unbounded.
+  /// submit() deliberately ignores the bound — in-process batch callers
+  /// own their own backlog; the bound exists for network front ends that
+  /// must push backpressure to clients instead of buffering the internet.
+  size_t MaxQueueDepth = 0;
 };
 
 /// One synthesis request.
@@ -112,6 +120,36 @@ struct JobOutcome {
   bool ok() const { return St != Status::Failed; }
 };
 
+/// Non-blocking view of where a job is in its lifecycle. Unknown is an
+/// error value — the id was never issued by this service (or the caller
+/// corrupted it); unlike wait(), the query APIs report it instead of
+/// aborting, because a network front end forwards ids from untrusted
+/// peers.
+enum class JobPhase { Unknown, Pending, Running, Done };
+
+/// Result of a non-aborting wait (tryWait/waitFor).
+struct WaitResult {
+  enum class Status { Done, Timeout, Unknown };
+  Status St = Status::Unknown;
+  /// Set only when St == Done; the reference stays valid for the
+  /// service's lifetime, like wait()'s return.
+  const JobOutcome *Outcome = nullptr;
+};
+
+/// Service-wide counters (a consistent snapshot under the service lock).
+struct ServiceStats {
+  size_t Submitted = 0;   ///< jobs accepted (submit + successful trySubmit)
+  size_t Rejected = 0;    ///< trySubmit refusals (queue full or draining)
+  size_t Completed = 0;   ///< jobs that reached Done, any outcome
+  size_t CacheHits = 0;
+  size_t Succeeded = 0;
+  size_t Cancelled = 0;
+  size_t Failed = 0;
+  size_t QueueDepth = 0;  ///< queued, not yet picked up
+  size_t Running = 0;     ///< currently executing on a worker
+  bool Draining = false;
+};
+
 /// Fixed-pool synthesis job scheduler. All public methods are
 /// thread-safe; JobIds are process-local and never reused.
 class SynthesisService {
@@ -134,9 +172,46 @@ public:
   /// Enqueues a job; returns immediately.
   JobId submit(JobSpec Spec);
 
+  /// Admission-controlled submit: rejects (returns nullopt) instead of
+  /// enqueueing when the service is draining or the queue already holds
+  /// Cfg.MaxQueueDepth jobs. This is the entry point for callers that
+  /// must bound their backlog — the RPC server turns a nullopt into an
+  /// explicit `rejected: queue_full` response.
+  std::optional<JobId> trySubmit(JobSpec Spec);
+
   /// Blocks until \p Id is done; the reference stays valid for the
-  /// service's lifetime.
+  /// service's lifetime. Calling this with an id the service never
+  /// issued is a caller bug and aborts loudly — embedders handling
+  /// untrusted ids use tryWait/waitFor instead.
   const JobOutcome &wait(JobId Id);
+
+  /// Non-aborting wait(): blocks until \p Id is done, or returns
+  /// WaitResult{Unknown} immediately for an id this service never
+  /// issued. Never aborts.
+  WaitResult tryWait(JobId Id);
+
+  /// Timed tryWait: additionally returns WaitResult{Timeout} when the
+  /// job is still Pending/Running after \p Seconds (>= 0; 0 polls). The
+  /// completion check re-runs after every wakeup, so a completion racing
+  /// the deadline reports Done, and spurious wakeups never return early.
+  WaitResult waitFor(JobId Id, double Seconds);
+
+  /// Non-blocking phase query; JobPhase::Unknown for foreign ids.
+  JobPhase poll(JobId Id) const;
+
+  /// Stops admission: every later trySubmit is rejected (submit still
+  /// works — in-process callers draining their own backlog keep their
+  /// contract). Queued and running jobs are unaffected; pair with
+  /// awaitIdle() to let them finish, or cancel them for a fast drain.
+  void beginDrain();
+
+  /// Blocks until no job is queued or running, or \p TimeoutSec passed;
+  /// returns true when idle. With admission stopped (beginDrain), idle
+  /// is terminal — this is the server's graceful-shutdown barrier.
+  bool awaitIdle(double TimeoutSec);
+
+  /// Consistent snapshot of the service counters.
+  ServiceStats stats() const;
 
   /// Requests cooperative cancellation of \p Id. A still-queued job
   /// completes immediately as Cancelled without running; a running job
@@ -170,10 +245,16 @@ private:
   std::unordered_map<JobId, std::unique_ptr<Job>> Jobs;
   JobId NextId = 1;
   bool Stopping = false;
+  bool Draining = false;      ///< beginDrain(): trySubmit rejects
   size_t HardwareThreads = 1; ///< hardware_concurrency, floored at 1
   size_t RunningJobs = 0;     ///< jobs a worker is executing right now
+  ServiceStats Counters;      ///< cumulative totals (queue/run fields unused)
   std::vector<std::thread> Workers;
 
+  JobId enqueueLocked(JobSpec Spec);
+  /// Counter bookkeeping for a job entering Done; call with M held,
+  /// after Outcome.St is final and before notifying DoneCV.
+  void noteDoneLocked(const JobOutcome &Out);
   void workerLoop();
   /// Runs \p J outside the lock; fills J.Outcome. \p ThreadBudget is the
   /// admission-time value of max(1, hardware threads / running jobs),

@@ -489,3 +489,204 @@ TEST(ResultCacheTest, SnapshotOnlyStoresHonorDiskBudget) {
   EXPECT_TRUE(fs::exists(AgeDir + "/" + numberedKey(9).hex() + ".srsnap"));
   EXPECT_EQ(A.stats().SnapshotDiskEvictions, 0u); // tmp reaps are not evictions
 }
+
+//===----------------------------------------------------------------------===//
+// Query APIs: tryWait / waitFor / poll / trySubmit / drain / stats
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceQueryTest, TryWaitUnknownIdReportsInsteadOfAborting) {
+  SynthesisService Service;
+  WaitResult R = Service.tryWait(424242);
+  EXPECT_EQ(R.St, WaitResult::Status::Unknown);
+  EXPECT_EQ(R.Outcome, nullptr);
+  EXPECT_EQ(Service.poll(424242), JobPhase::Unknown);
+  EXPECT_EQ(Service.waitFor(424242, 0.0).St, WaitResult::Status::Unknown);
+}
+
+TEST(ServiceQueryTest, WaitIsStillLoudOnCallerBugs) {
+  // The blocking wait() keeps its abort contract for embedders — only
+  // the query APIs are tolerant. (Documented, not death-tested: a death
+  // test would fork the worker pool.)
+  SynthesisService Service;
+  JobSpec Spec;
+  Spec.Name = "known";
+  Spec.Source = "(Union Unit (Translate (Vec3 2 0 0) Unit))";
+  SynthesisService::JobId Id = Service.submit(std::move(Spec));
+  WaitResult R = Service.tryWait(Id);
+  ASSERT_EQ(R.St, WaitResult::Status::Done);
+  ASSERT_NE(R.Outcome, nullptr);
+  EXPECT_EQ(R.Outcome->St, JobOutcome::Status::Succeeded);
+  // tryWait and wait return the same outcome object.
+  EXPECT_EQ(R.Outcome, &Service.wait(Id));
+}
+
+TEST(ServiceQueryTest, WaitForTimesOutOnBusyJobThenCompletes) {
+  ServiceConfig Cfg;
+  Cfg.NumWorkers = 1;
+  Cfg.EnableCache = false;
+  SynthesisService Service(Cfg);
+
+  JobSpec Slow;
+  Slow.Name = "slow";
+  Slow.Input = models::modelByName("3432939:nintendo-slot").FlatCsg;
+  SynthesisService::JobId Id = Service.submit(std::move(Slow));
+
+  // A zero-timeout poll-style wait and a short one both time out while
+  // the job runs (spurious wakeups must not return early: waitFor
+  // re-checks completion under the lock before reporting).
+  EXPECT_EQ(Service.waitFor(Id, 0.0).St, WaitResult::Status::Timeout);
+  WaitResult Short = Service.waitFor(Id, 0.01);
+  EXPECT_EQ(Short.St, WaitResult::Status::Timeout);
+  EXPECT_EQ(Short.Outcome, nullptr);
+  JobPhase Phase = Service.poll(Id);
+  EXPECT_TRUE(Phase == JobPhase::Pending || Phase == JobPhase::Running);
+
+  // A generous timeout observes completion, and the completion-vs-
+  // deadline race resolves to Done (the predicate re-runs at expiry).
+  WaitResult Full = Service.waitFor(Id, 600.0);
+  ASSERT_EQ(Full.St, WaitResult::Status::Done);
+  ASSERT_NE(Full.Outcome, nullptr);
+  EXPECT_EQ(Full.Outcome->St, JobOutcome::Status::Succeeded);
+  EXPECT_EQ(Service.poll(Id), JobPhase::Done);
+
+  // After completion every further timed wait is an immediate Done, even
+  // with a zero timeout.
+  EXPECT_EQ(Service.waitFor(Id, 0.0).St, WaitResult::Status::Done);
+}
+
+TEST(ServiceQueryTest, WaitForRacingCompletionNeverMisreportsTimeout) {
+  // Hammer the completion-vs-timeout race: many tiny jobs, each awaited
+  // with a timeout in the same order of magnitude as the job itself.
+  // Whichever way each race lands, a Done report must carry the outcome
+  // and a Timeout report must be followed by an eventually-Done wait.
+  ServiceConfig Cfg;
+  Cfg.NumWorkers = 2;
+  Cfg.EnableCache = false;
+  SynthesisService Service(Cfg);
+  for (int I = 0; I < 20; ++I) {
+    JobSpec Spec;
+    Spec.Name = "race-" + std::to_string(I);
+    Spec.Source = "(Union Unit (Translate (Vec3 2 0 0) Unit))";
+    SynthesisService::JobId Id = Service.submit(std::move(Spec));
+    WaitResult R = Service.waitFor(Id, 0.002);
+    if (R.St == WaitResult::Status::Done) {
+      ASSERT_NE(R.Outcome, nullptr);
+      EXPECT_EQ(R.Outcome->St, JobOutcome::Status::Succeeded);
+    } else {
+      ASSERT_EQ(R.St, WaitResult::Status::Timeout);
+      WaitResult Final = Service.waitFor(Id, 600.0);
+      ASSERT_EQ(Final.St, WaitResult::Status::Done);
+      EXPECT_EQ(Final.Outcome->St, JobOutcome::Status::Succeeded);
+    }
+  }
+}
+
+TEST(ServiceQueryTest, TrySubmitEnforcesTheQueueBound) {
+  ServiceConfig Cfg;
+  Cfg.NumWorkers = 1;
+  Cfg.EnableCache = false;
+  Cfg.MaxQueueDepth = 1;
+  SynthesisService Service(Cfg);
+
+  JobSpec Slow;
+  Slow.Name = "head";
+  Slow.Input = models::modelByName("3432939:nintendo-slot").FlatCsg;
+  std::optional<SynthesisService::JobId> Head =
+      Service.trySubmit(std::move(Slow));
+  ASSERT_TRUE(Head.has_value());
+
+  // Fill the queue (racing the worker pickup: retry until one sticks),
+  // then the next trySubmit must bounce.
+  JobSpec Fill;
+  Fill.Name = "fill";
+  Fill.Source = "(Union Unit (Translate (Vec3 2 0 0) Unit))";
+  bool SawReject = false;
+  std::vector<SynthesisService::JobId> Accepted{*Head};
+  for (int I = 0; I < 200 && !SawReject; ++I) {
+    std::optional<SynthesisService::JobId> Id = Service.trySubmit(Fill);
+    if (Id)
+      Accepted.push_back(*Id);
+    else
+      SawReject = true;
+  }
+  EXPECT_TRUE(SawReject);
+  EXPECT_GE(Service.stats().Rejected, 1u);
+
+  // submit() deliberately ignores the bound (in-process callers own
+  // their backlog).
+  JobSpec Extra;
+  Extra.Name = "unbounded";
+  Extra.Source = "(Union Unit (Translate (Vec3 2 0 0) Unit))";
+  SynthesisService::JobId Unbounded = Service.submit(std::move(Extra));
+  Accepted.push_back(Unbounded);
+
+  Service.cancel(*Head);
+  for (SynthesisService::JobId Id : Accepted)
+    EXPECT_EQ(Service.tryWait(Id).St, WaitResult::Status::Done);
+}
+
+TEST(ServiceQueryTest, DrainStopsTrySubmitKeepsSubmitAndReachesIdle) {
+  ServiceConfig Cfg;
+  Cfg.NumWorkers = 2;
+  Cfg.EnableCache = false;
+  SynthesisService Service(Cfg);
+
+  JobSpec Spec;
+  Spec.Name = "inflight";
+  Spec.Source = "(Union Unit (Translate (Vec3 2 0 0) Unit))";
+  SynthesisService::JobId Id = Service.submit(Spec);
+
+  Service.beginDrain();
+  EXPECT_FALSE(Service.trySubmit(Spec).has_value());
+  EXPECT_TRUE(Service.stats().Draining);
+  // submit() still honors the in-process contract during drain.
+  SynthesisService::JobId Late = Service.submit(Spec);
+
+  EXPECT_TRUE(Service.awaitIdle(600.0));
+  EXPECT_EQ(Service.poll(Id), JobPhase::Done);
+  EXPECT_EQ(Service.poll(Late), JobPhase::Done);
+  ServiceStats Stats = Service.stats();
+  EXPECT_EQ(Stats.QueueDepth, 0u);
+  EXPECT_EQ(Stats.Running, 0u);
+}
+
+TEST(ServiceQueryTest, AwaitIdleTimesOutWhileWorkRemains) {
+  ServiceConfig Cfg;
+  Cfg.NumWorkers = 1;
+  Cfg.EnableCache = false;
+  SynthesisService Service(Cfg);
+  JobSpec Slow;
+  Slow.Name = "busy";
+  Slow.Input = models::modelByName("3432939:nintendo-slot").FlatCsg;
+  SynthesisService::JobId Id = Service.submit(std::move(Slow));
+  EXPECT_FALSE(Service.awaitIdle(0.01));
+  Service.cancel(Id);
+  EXPECT_TRUE(Service.awaitIdle(600.0));
+}
+
+TEST(ServiceQueryTest, StatsCountEveryOutcomeClass) {
+  ServiceConfig Cfg;
+  Cfg.NumWorkers = 1;
+  Cfg.EnableCache = true;
+  SynthesisService Service(Cfg);
+
+  JobSpec Ok;
+  Ok.Name = "ok";
+  Ok.Source = "(Union Unit (Translate (Vec3 2 0 0) Unit))";
+  Service.wait(Service.submit(Ok));
+  Service.wait(Service.submit(Ok)); // identical: cache hit
+  JobSpec Bad;
+  Bad.Name = "bad";
+  Bad.Source = "(Union Unit"; // parse failure
+  Service.wait(Service.submit(std::move(Bad)));
+
+  ServiceStats Stats = Service.stats();
+  EXPECT_EQ(Stats.Submitted, 3u);
+  EXPECT_EQ(Stats.Completed, 3u);
+  EXPECT_EQ(Stats.Succeeded, 1u);
+  EXPECT_EQ(Stats.CacheHits, 1u);
+  EXPECT_EQ(Stats.Failed, 1u);
+  EXPECT_EQ(Stats.Cancelled, 0u);
+  EXPECT_EQ(Stats.Rejected, 0u);
+  EXPECT_FALSE(Stats.Draining);
+}

@@ -31,6 +31,7 @@
 
 #include "cad/Sexp.h"
 #include "models/Models.h"
+#include "server/Client.h"
 #include "service/SynthesisService.h"
 
 #include <algorithm>
@@ -59,6 +60,11 @@ struct BatchOptions {
   std::string OutDir;
   SynthesisOptions Synth;
   bool Quiet = false;
+  /// -connect HOST:PORT: submit to a running shrinkray_serve instead of
+  /// an in-process service. Worker/cache flags are server-side then.
+  std::string ConnectHost;
+  uint16_t ConnectPort = 0;
+  std::string ClientName = "shrinkray_batch";
 };
 
 void usage(const char *Argv0) {
@@ -78,7 +84,12 @@ void usage(const char *Argv0) {
       "  -k N               top-k programs (default 5)\n"
       "  -cost size|loops   extraction cost (default size)\n"
       "  -out DIR           write each best program to DIR/<name>.sexp\n"
-      "  -quiet             summary only\n",
+      "  -quiet             summary only\n"
+      "  -connect HOST:PORT submit to a running shrinkray_serve instead\n"
+      "                     of synthesizing in-process (worker and cache\n"
+      "                     flags then belong to the server)\n"
+      "  -client NAME       quota identity for -connect (default\n"
+      "                     shrinkray_batch)\n",
       Argv0);
 }
 
@@ -147,6 +158,24 @@ bool parseArgs(int Argc, char **Argv, BatchOptions &Opts) {
       Opts.OutDir = V;
     } else if (Arg == "-quiet") {
       Opts.Quiet = true;
+    } else if (Arg == "-connect") {
+      const char *V = next();
+      if (!V)
+        return false;
+      std::string Spec = V;
+      size_t Colon = Spec.rfind(':');
+      if (Colon == std::string::npos || Colon == 0 || Colon + 1 >= Spec.size())
+        return false;
+      int Port = std::atoi(Spec.c_str() + Colon + 1);
+      if (Port < 1 || Port > 65535)
+        return false;
+      Opts.ConnectHost = Spec.substr(0, Colon);
+      Opts.ConnectPort = static_cast<uint16_t>(Port);
+    } else if (Arg == "-client") {
+      const char *V = next();
+      if (!V)
+        return false;
+      Opts.ClientName = V;
     } else if (Arg == "-h" || Arg == "--help") {
       return false;
     } else if (!Arg.empty() && Arg[0] == '-') {
@@ -243,6 +272,82 @@ std::string safeName(const std::string &Name) {
   return Out;
 }
 
+/// -connect mode: the same job list, pushed through a JSONL RPC
+/// connection to a running shrinkray_serve. The -out tree it writes is
+/// byte-identical to the in-process path's (same names, same best
+/// program per job) — the CI differential depends on that.
+int runRemote(const BatchOptions &Opts, std::vector<JobSpec> &Specs) {
+  server::ClientConnection Conn;
+  std::string Error;
+  if (!Conn.connect(Opts.ConnectHost, Opts.ConnectPort, Error) ||
+      !Conn.hello(Opts.ClientName, Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+
+  const auto Start = std::chrono::steady_clock::now();
+  size_t Failed = 0, Cancelled = 0, Hits = 0;
+  std::set<std::string> UsedOutNames;
+  if (!Opts.Quiet)
+    std::printf("%-28s | %-9s | %8s %8s | %8s\n", "job", "status", "queue(s)",
+                "run(s)", "programs");
+  for (size_t I = 0; I < Specs.size(); ++I) {
+    const JobSpec &Spec = Specs[I];
+    server::Request R;
+    R.K = server::Request::Kind::Submit;
+    R.Name = Spec.Name;
+    // The wire carries program text only; built-in models ship as their
+    // flat-CSG s-expression, which parses back to the same term.
+    R.Source = Spec.Input ? printSexp(Spec.Input) : Spec.Source;
+    R.SourceIsScad = Spec.Input ? false : Spec.SourceIsScad;
+    R.TopK = Opts.Synth.TopK;
+    R.Cost = Opts.Synth.Cost;
+    R.DeadlineSec = Opts.DeadlineSec;
+    std::optional<server::RemoteOutcome> Out = Conn.submitAndWait(R, Error);
+    if (!Out) {
+      std::fprintf(stderr, "error: %s: %s\n", Spec.Name.c_str(),
+                   Error.c_str());
+      return 1;
+    }
+    if (Out->Status == "failed")
+      ++Failed;
+    else if (Out->Status == "cancelled")
+      ++Cancelled;
+    else if (Out->Status == "cache-hit")
+      ++Hits;
+    if (!Opts.Quiet) {
+      std::printf("%-28s | %-9s | %8.3f %8.3f | %8zu\n", Spec.Name.c_str(),
+                  Out->Status.c_str(), Out->QueueSec, Out->RunSec,
+                  Out->Programs.size());
+      if (!Out->Error.empty())
+        std::printf("  error: %s\n", Out->Error.c_str());
+    }
+    if (!Opts.OutDir.empty() && !Out->Programs.empty()) {
+      std::error_code Ec;
+      std::filesystem::create_directories(Opts.OutDir, Ec);
+      std::string Stem = safeName(Spec.Name);
+      if (!UsedOutNames.insert(Stem).second) {
+        Stem += "-" + std::to_string(I);
+        UsedOutNames.insert(Stem);
+      }
+      std::ofstream F(Opts.OutDir + "/" + Stem + ".sexp");
+      if (F)
+        F << Out->Programs.front().Sexp << "\n";
+    }
+  }
+  double WallSec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  std::printf("\n%zu jobs via %s:%u in %.2fs (%.2f jobs/s): %zu ok, "
+              "%zu cache hits, %zu deadline-cancelled, %zu failed\n",
+              Specs.size(), Opts.ConnectHost.c_str(), Opts.ConnectPort,
+              WallSec,
+              WallSec > 0 ? static_cast<double>(Specs.size()) / WallSec : 0.0,
+              Specs.size() - Failed - Cancelled - Hits, Hits, Cancelled,
+              Failed);
+  return Failed == 0 ? 0 : 1;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -267,6 +372,9 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "error: no *.scad / *.sexp inputs found\n");
     return 1;
   }
+
+  if (!Opts.ConnectHost.empty())
+    return runRemote(Opts, Specs);
 
   ServiceConfig Cfg;
   Cfg.NumWorkers = Opts.Workers;

@@ -1,0 +1,313 @@
+//===-- tools/shrinkray_client.cpp - JSONL RPC synthesis client -----------===//
+//
+// Submits models to a running shrinkray_serve and waits for the results.
+// Inputs and outputs mirror shrinkray_batch so the two are diffable: the
+// same sorted *.scad / *.sexp collection, the same -out DIR layout with
+// one `<name>.sexp` per job holding the best program.
+//
+//   shrinkray_client --connect HOST:PORT [options] [path...]
+//
+//   Options:
+//     --connect HOST:PORT   server address (required)
+//     --client NAME         quota identity for the hello handshake
+//                           (default "shrinkray_client")
+//     -k N                  top-k programs per job (default 5)
+//     -cost size|loops      extraction cost (default size)
+//     -deadline S           per-job wall-clock budget in seconds
+//     -out DIR              write each job's best program to DIR/<name>.sexp
+//     -stats                print server stats after the run
+//     -quiet                suppress the per-job table (summary only)
+//
+//   Exit status: 0 when every job succeeded (cache hits and deadline
+//   cancellations count — they returned a result), 1 when any job failed
+//   or the transport broke, 2 on usage errors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace shrinkray;
+using namespace shrinkray::server;
+
+namespace {
+
+struct ClientOptions {
+  std::string Host;
+  uint16_t Port = 0;
+  std::string Client = "shrinkray_client";
+  std::vector<std::string> Paths;
+  size_t TopK = 5;
+  CostKind Cost = CostKind::AstSize;
+  double DeadlineSec = 0.0;
+  std::string OutDir;
+  bool Stats = false;
+  bool Quiet = false;
+};
+
+void usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --connect HOST:PORT [options] [path...]\n"
+      "  paths: *.scad / *.sexp files, or directories of them\n"
+      "  --connect HOST:PORT  server address (required)\n"
+      "  --client NAME        quota identity (default shrinkray_client)\n"
+      "  -k N                 top-k programs (default 5)\n"
+      "  -cost size|loops     extraction cost (default size)\n"
+      "  -deadline S          per-job budget in seconds\n"
+      "  -out DIR             write each best program to DIR/<name>.sexp\n"
+      "  -stats               print server stats after the run\n"
+      "  -quiet               summary only\n",
+      Argv0);
+}
+
+bool parseHostPort(const std::string &Spec, std::string &Host,
+                   uint16_t &Port) {
+  size_t Colon = Spec.rfind(':');
+  if (Colon == std::string::npos || Colon == 0 || Colon + 1 >= Spec.size())
+    return false;
+  int P = std::atoi(Spec.c_str() + Colon + 1);
+  if (P < 1 || P > 65535)
+    return false;
+  Host = Spec.substr(0, Colon);
+  Port = static_cast<uint16_t>(P);
+  return true;
+}
+
+bool parseArgs(int Argc, char **Argv, ClientOptions &Opts) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto next = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : nullptr;
+    };
+    if (Arg == "--connect") {
+      const char *V = next();
+      if (!V || !parseHostPort(V, Opts.Host, Opts.Port))
+        return false;
+    } else if (Arg == "--client") {
+      const char *V = next();
+      if (!V)
+        return false;
+      Opts.Client = V;
+    } else if (Arg == "-k") {
+      const char *V = next();
+      if (!V || std::atoi(V) < 1)
+        return false;
+      Opts.TopK = static_cast<size_t>(std::atoi(V));
+    } else if (Arg == "-cost") {
+      const char *V = next();
+      if (!V)
+        return false;
+      if (std::strcmp(V, "size") == 0)
+        Opts.Cost = CostKind::AstSize;
+      else if (std::strcmp(V, "loops") == 0)
+        Opts.Cost = CostKind::RewardLoops;
+      else
+        return false;
+    } else if (Arg == "-deadline") {
+      const char *V = next();
+      if (!V || std::atof(V) <= 0)
+        return false;
+      Opts.DeadlineSec = std::atof(V);
+    } else if (Arg == "-out") {
+      const char *V = next();
+      if (!V)
+        return false;
+      Opts.OutDir = V;
+    } else if (Arg == "-stats") {
+      Opts.Stats = true;
+    } else if (Arg == "-quiet") {
+      Opts.Quiet = true;
+    } else if (Arg == "-h" || Arg == "--help") {
+      return false;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      return false;
+    } else {
+      Opts.Paths.push_back(Arg);
+    }
+  }
+  return true;
+}
+
+bool hasExt(const std::filesystem::path &P, const char *Ext) {
+  return P.extension() == Ext;
+}
+
+struct Input {
+  std::string Name;
+  std::string Source;
+  bool SourceIsScad = false;
+};
+
+/// Same collection discipline as shrinkray_batch::collectJobs — sorted
+/// non-recursive scan — so a client run and a batch run over the same
+/// corpus produce byte-identical -out trees.
+bool collectInputs(const ClientOptions &Opts, std::vector<Input> &Inputs,
+                   std::string &Error) try {
+  std::vector<std::filesystem::path> Files;
+  for (const std::string &P : Opts.Paths) {
+    std::error_code Ec;
+    if (std::filesystem::is_directory(P, Ec)) {
+      for (const auto &Entry : std::filesystem::directory_iterator(P, Ec)) {
+        std::error_code EntryEc;
+        if (Entry.is_regular_file(EntryEc) &&
+            (hasExt(Entry.path(), ".scad") || hasExt(Entry.path(), ".sexp")))
+          Files.push_back(Entry.path());
+      }
+      if (Ec) {
+        Error = "cannot scan directory " + P + ": " + Ec.message();
+        return false;
+      }
+    } else if (std::filesystem::is_regular_file(P, Ec)) {
+      Files.push_back(P);
+    } else {
+      Error = "no such file or directory: " + P;
+      return false;
+    }
+  }
+  std::sort(Files.begin(), Files.end());
+
+  for (const std::filesystem::path &F : Files) {
+    std::ifstream In(F);
+    if (!In) {
+      Error = "cannot open " + F.string();
+      return false;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Input I;
+    I.Name = F.stem().string();
+    I.Source = Buf.str();
+    I.SourceIsScad = hasExt(F, ".scad");
+    Inputs.push_back(std::move(I));
+  }
+  return true;
+} catch (const std::filesystem::filesystem_error &E) {
+  Error = E.what();
+  return false;
+}
+
+std::string safeName(const std::string &Name) {
+  std::string Out = Name;
+  for (char &C : Out)
+    if (C == '/' || C == ':' || C == '\\')
+      C = '_';
+  return Out;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ClientOptions Opts;
+  if (!parseArgs(Argc, Argv, Opts)) {
+    usage(Argv[0]);
+    return 2;
+  }
+  if (Opts.Host.empty()) {
+    std::fprintf(stderr, "error: --connect HOST:PORT is required\n");
+    usage(Argv[0]);
+    return 2;
+  }
+  if (Opts.Paths.empty()) {
+    std::fprintf(stderr, "error: no inputs\n");
+    usage(Argv[0]);
+    return 2;
+  }
+
+  std::vector<Input> Inputs;
+  std::string Error;
+  if (!collectInputs(Opts, Inputs, Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  if (Inputs.empty()) {
+    std::fprintf(stderr, "error: no *.scad / *.sexp inputs found\n");
+    return 1;
+  }
+
+  ClientConnection Conn;
+  if (!Conn.connect(Opts.Host, Opts.Port, Error) ||
+      !Conn.hello(Opts.Client, Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+
+  const auto Start = std::chrono::steady_clock::now();
+  size_t Failed = 0, Hits = 0, Cancelled = 0;
+  std::set<std::string> UsedOutNames;
+  if (!Opts.Quiet)
+    std::printf("%-28s | %-9s | %8s %8s | %8s\n", "job", "status", "queue(s)",
+                "run(s)", "programs");
+  for (size_t I = 0; I < Inputs.size(); ++I) {
+    const Input &In = Inputs[I];
+    Request R;
+    R.K = Request::Kind::Submit;
+    R.Name = In.Name;
+    R.Source = In.Source;
+    R.SourceIsScad = In.SourceIsScad;
+    R.TopK = Opts.TopK;
+    R.Cost = Opts.Cost;
+    R.DeadlineSec = Opts.DeadlineSec;
+    std::optional<RemoteOutcome> Out = Conn.submitAndWait(R, Error);
+    if (!Out) {
+      std::fprintf(stderr, "error: %s: %s\n", In.Name.c_str(), Error.c_str());
+      return 1;
+    }
+    if (Out->Status == "failed")
+      ++Failed;
+    else if (Out->Status == "cache-hit")
+      ++Hits;
+    else if (Out->Status == "cancelled")
+      ++Cancelled;
+    if (!Opts.Quiet) {
+      std::printf("%-28s | %-9s | %8.3f %8.3f | %8zu\n", In.Name.c_str(),
+                  Out->Status.c_str(), Out->QueueSec, Out->RunSec,
+                  Out->Programs.size());
+      if (!Out->Error.empty())
+        std::printf("  error: %s\n", Out->Error.c_str());
+    }
+    if (!Opts.OutDir.empty() && !Out->Programs.empty()) {
+      std::error_code Ec;
+      std::filesystem::create_directories(Opts.OutDir, Ec);
+      std::string Stem = safeName(In.Name);
+      if (!UsedOutNames.insert(Stem).second) {
+        Stem += "-" + std::to_string(I);
+        UsedOutNames.insert(Stem);
+      }
+      std::ofstream F(Opts.OutDir + "/" + Stem + ".sexp");
+      if (F)
+        F << Out->Programs.front().Sexp << "\n";
+    }
+  }
+  double WallSec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  std::printf("\n%zu jobs via %s:%u in %.2fs: %zu ok, %zu cache hits, "
+              "%zu deadline-cancelled, %zu failed\n",
+              Inputs.size(), Opts.Host.c_str(), Opts.Port, WallSec,
+              Inputs.size() - Failed - Hits - Cancelled, Hits, Cancelled,
+              Failed);
+
+  if (Opts.Stats) {
+    Request R;
+    R.K = Request::Kind::Stats;
+    std::optional<JsonValue> Resp = Conn.call(R, Error);
+    if (Resp)
+      std::printf("stats: %s\n", writeJson(*Resp).c_str());
+    else
+      std::fprintf(stderr, "warning: stats failed: %s\n", Error.c_str());
+  }
+  return Failed == 0 ? 0 : 1;
+}
